@@ -1,0 +1,37 @@
+# roborepair — reproduction of "Replacing Failed Sensor Nodes by Mobile
+# Robots" (ICDCS Workshops 2006).
+
+GO ?= go
+
+.PHONY: all build test vet bench figures validate examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short-horizon benches: one per paper figure cell plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's figures at the full 64000 s horizon (minutes).
+figures:
+	$(GO) run ./cmd/figures -fig all -seeds 3
+
+# Cross-check the simulator against closed-form models.
+validate:
+	$(GO) run ./cmd/validate
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/algorithmduel
+	$(GO) run ./examples/mobilityduel
+
+clean:
+	$(GO) clean ./...

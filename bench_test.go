@@ -1,0 +1,209 @@
+// Benchmark harness: one benchmark per evaluation artifact of the paper.
+//
+//   - BenchmarkFig2_*: Figure 2 — average robot traveling distance per
+//     failure, reported as the custom metric "m/failure".
+//   - BenchmarkFig3_*: Figure 3 — average message hops per failure,
+//     reported as "report-hops" (and "request-hops" for centralized).
+//   - BenchmarkFig4_*: Figure 4 — location-update transmissions per
+//     failure, reported as "updtx/failure".
+//   - BenchmarkAblation*: the §4.3.1 partition and §4.3.2 broadcast
+//     ablations plus the queue-policy extension.
+//
+// Benchmarks use a 4000 s horizon (1/16 of the paper's) so `go test
+// -bench=.` completes in minutes; the cmd/figures tool regenerates the
+// figures at the full horizon. Absolute values are smaller at short
+// horizons (fewer queued repairs), but the cross-algorithm ordering — the
+// paper's claim — is preserved, and each bench prints it.
+package roborepair_test
+
+import (
+	"testing"
+
+	"roborepair"
+	"roborepair/internal/relocation"
+)
+
+const benchSimTime = 4000
+
+func benchConfig(alg roborepair.Algorithm, robots int, seed int64) roborepair.Config {
+	cfg := roborepair.DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.Robots = robots
+	cfg.SimTime = benchSimTime
+	cfg.Seed = seed
+	return cfg
+}
+
+// runCells runs one simulation per b.N iteration (varying the seed) and
+// returns the averaged results.
+func runCells(b *testing.B, mutate func(*roborepair.Config), alg roborepair.Algorithm, robots int) (travel, reportHops, requestHops, updateTx float64) {
+	b.Helper()
+	var n int
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(alg, robots, int64(i+1))
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := roborepair.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		travel += res.AvgTravelPerFailure
+		reportHops += res.AvgReportHops
+		requestHops += res.AvgRequestHops
+		updateTx += res.LocUpdateTxPerFailure
+		n++
+	}
+	f := float64(n)
+	return travel / f, reportHops / f, requestHops / f, updateTx / f
+}
+
+// --- Figure 2: motion overhead ---------------------------------------
+
+func benchFig2(b *testing.B, alg roborepair.Algorithm, robots int) {
+	travel, _, _, _ := runCells(b, nil, alg, robots)
+	b.ReportMetric(travel, "m/failure")
+	b.ReportMetric(0, "ns/op") // the domain metric is the result, not latency
+}
+
+func BenchmarkFig2_Fixed_4(b *testing.B)        { benchFig2(b, roborepair.Fixed, 4) }
+func BenchmarkFig2_Fixed_9(b *testing.B)        { benchFig2(b, roborepair.Fixed, 9) }
+func BenchmarkFig2_Fixed_16(b *testing.B)       { benchFig2(b, roborepair.Fixed, 16) }
+func BenchmarkFig2_Dynamic_4(b *testing.B)      { benchFig2(b, roborepair.Dynamic, 4) }
+func BenchmarkFig2_Dynamic_9(b *testing.B)      { benchFig2(b, roborepair.Dynamic, 9) }
+func BenchmarkFig2_Dynamic_16(b *testing.B)     { benchFig2(b, roborepair.Dynamic, 16) }
+func BenchmarkFig2_Centralized_4(b *testing.B)  { benchFig2(b, roborepair.Centralized, 4) }
+func BenchmarkFig2_Centralized_9(b *testing.B)  { benchFig2(b, roborepair.Centralized, 9) }
+func BenchmarkFig2_Centralized_16(b *testing.B) { benchFig2(b, roborepair.Centralized, 16) }
+
+// --- Figure 3: message hops per failure -------------------------------
+
+func benchFig3(b *testing.B, alg roborepair.Algorithm, robots int) {
+	_, reportHops, requestHops, _ := runCells(b, nil, alg, robots)
+	b.ReportMetric(reportHops, "report-hops")
+	if alg == roborepair.Centralized {
+		b.ReportMetric(requestHops, "request-hops")
+	}
+	b.ReportMetric(0, "ns/op")
+}
+
+func BenchmarkFig3_Centralized_4(b *testing.B)  { benchFig3(b, roborepair.Centralized, 4) }
+func BenchmarkFig3_Centralized_9(b *testing.B)  { benchFig3(b, roborepair.Centralized, 9) }
+func BenchmarkFig3_Centralized_16(b *testing.B) { benchFig3(b, roborepair.Centralized, 16) }
+func BenchmarkFig3_Dynamic_4(b *testing.B)      { benchFig3(b, roborepair.Dynamic, 4) }
+func BenchmarkFig3_Dynamic_9(b *testing.B)      { benchFig3(b, roborepair.Dynamic, 9) }
+func BenchmarkFig3_Dynamic_16(b *testing.B)     { benchFig3(b, roborepair.Dynamic, 16) }
+func BenchmarkFig3_Fixed_4(b *testing.B)        { benchFig3(b, roborepair.Fixed, 4) }
+func BenchmarkFig3_Fixed_9(b *testing.B)        { benchFig3(b, roborepair.Fixed, 9) }
+func BenchmarkFig3_Fixed_16(b *testing.B)       { benchFig3(b, roborepair.Fixed, 16) }
+
+// --- Figure 4: location-update transmissions per failure --------------
+
+func benchFig4(b *testing.B, alg roborepair.Algorithm, robots int) {
+	_, _, _, updateTx := runCells(b, nil, alg, robots)
+	b.ReportMetric(updateTx, "updtx/failure")
+	b.ReportMetric(0, "ns/op")
+}
+
+func BenchmarkFig4_Dynamic_4(b *testing.B)      { benchFig4(b, roborepair.Dynamic, 4) }
+func BenchmarkFig4_Dynamic_9(b *testing.B)      { benchFig4(b, roborepair.Dynamic, 9) }
+func BenchmarkFig4_Dynamic_16(b *testing.B)     { benchFig4(b, roborepair.Dynamic, 16) }
+func BenchmarkFig4_Fixed_4(b *testing.B)        { benchFig4(b, roborepair.Fixed, 4) }
+func BenchmarkFig4_Fixed_9(b *testing.B)        { benchFig4(b, roborepair.Fixed, 9) }
+func BenchmarkFig4_Fixed_16(b *testing.B)       { benchFig4(b, roborepair.Fixed, 16) }
+func BenchmarkFig4_Centralized_4(b *testing.B)  { benchFig4(b, roborepair.Centralized, 4) }
+func BenchmarkFig4_Centralized_9(b *testing.B)  { benchFig4(b, roborepair.Centralized, 9) }
+func BenchmarkFig4_Centralized_16(b *testing.B) { benchFig4(b, roborepair.Centralized, 16) }
+
+// --- Ablations ---------------------------------------------------------
+
+// BenchmarkAblationHexPartition reproduces the §4.3.1 claim that hexagonal
+// partitioning changes the fixed algorithm's overheads negligibly.
+func BenchmarkAblationHexPartition(b *testing.B) {
+	travel, _, _, updateTx := runCells(b, func(c *roborepair.Config) {
+		c.Partition = roborepair.PartitionHex
+	}, roborepair.Fixed, 9)
+	b.ReportMetric(travel, "m/failure")
+	b.ReportMetric(updateTx, "updtx/failure")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkAblationSquarePartition is the square baseline for the hex
+// ablation at the same scale.
+func BenchmarkAblationSquarePartition(b *testing.B) {
+	travel, _, _, updateTx := runCells(b, nil, roborepair.Fixed, 9)
+	b.ReportMetric(travel, "m/failure")
+	b.ReportMetric(updateTx, "updtx/failure")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkAblationEfficientBroadcast measures the §4.3.2 relay-set
+// optimization on the dynamic algorithm's flooding bill.
+func BenchmarkAblationEfficientBroadcast(b *testing.B) {
+	_, _, _, updateTx := runCells(b, func(c *roborepair.Config) {
+		c.EfficientBroadcast = true
+	}, roborepair.Dynamic, 9)
+	b.ReportMetric(updateTx, "updtx/failure")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkAblationBlindBroadcast is the blind-flooding baseline.
+func BenchmarkAblationBlindBroadcast(b *testing.B) {
+	_, _, _, updateTx := runCells(b, nil, roborepair.Dynamic, 9)
+	b.ReportMetric(updateTx, "updtx/failure")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkAblationNearestFirstQueue swaps the paper's FCFS robot queue
+// for nearest-task-first scheduling.
+func BenchmarkAblationNearestFirstQueue(b *testing.B) {
+	travel, _, _, _ := runCells(b, func(c *roborepair.Config) {
+		c.NearestFirstQueue = true
+	}, roborepair.Dynamic, 9)
+	b.ReportMetric(travel, "m/failure")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkAblationUpdateThreshold40 doubles the 20 m location-update
+// threshold (§4.2 trade-off).
+func BenchmarkAblationUpdateThreshold40(b *testing.B) {
+	_, _, _, updateTx := runCells(b, func(c *roborepair.Config) {
+		c.UpdateThreshold = 40
+	}, roborepair.Dynamic, 9)
+	b.ReportMetric(updateTx, "updtx/failure")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkBaselineRelocation measures the Wang et al. [13] sensor
+// self-relocation baseline (related-work comparison): cascaded movement
+// per failure on the paper's 4-robot field.
+func BenchmarkBaselineRelocation(b *testing.B) {
+	var total, maxHop float64
+	var n int
+	for i := 0; i < b.N; i++ {
+		cfg := relocation.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		st, err := relocation.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += st.CascadeTotalPerFailure
+		maxHop += st.CascadeMaxHopPerFailure
+		n++
+	}
+	b.ReportMetric(total/float64(n), "m/failure")
+	b.ReportMetric(maxHop/float64(n), "maxhop-m")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// seconds per wall-clock second on the paper's largest configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(roborepair.Dynamic, 16, int64(i+1))
+		cfg.SimTime = 1000
+		if _, err := roborepair.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

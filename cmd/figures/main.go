@@ -1,0 +1,130 @@
+// Command figures regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	figures -fig all              # Figures 2, 3, 4 + run summary
+//	figures -fig 2                # one figure
+//	figures -fig hex              # §4.3.1 partition ablation
+//	figures -fig bcast            # §4.3.2 efficient-broadcast ablation
+//	figures -fig threshold        # location-update threshold sweep
+//	figures -simtime 16000 -seeds 2   # faster, noisier
+//	figures -csv                  # CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"roborepair"
+	"roborepair/internal/core"
+	"roborepair/internal/figures"
+	"roborepair/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "2|3|4|all|hex|bcast|threshold|coverage")
+	simtime := fs.Float64("simtime", 64000, "simulated seconds per run")
+	seeds := fs.Int("seeds", 1, "number of seeds averaged per cell")
+	robotsFlag := fs.String("robots", "4,9,16", "comma-separated robot counts")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	quiet := fs.Bool("q", false, "suppress per-run progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := roborepair.DefaultConfig()
+	base.SimTime = *simtime
+
+	robots, err := parseInts(*robotsFlag)
+	if err != nil {
+		return err
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+	progress := func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	if *quiet {
+		progress = nil
+	}
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			return
+		}
+		fmt.Println(t.String())
+	}
+
+	switch *fig {
+	case "2", "3", "4", "all":
+		grid, err := figures.RunGrid(base, figures.AllAlgorithms, robots, seedList, progress)
+		if err != nil {
+			return err
+		}
+		switch *fig {
+		case "2":
+			emit(grid.Fig2Table())
+		case "3":
+			emit(grid.Fig3Table())
+		case "4":
+			emit(grid.Fig4Table())
+		default:
+			emit(grid.Fig2Table())
+			emit(grid.Fig3Table())
+			emit(grid.Fig4Table())
+			emit(grid.SummaryTable())
+		}
+	case "hex":
+		t, err := figures.AblationHex(base, robots, seedList, progress)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "bcast":
+		t, err := figures.AblationBroadcast(base, robots, seedList, progress)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "threshold":
+		t, err := figures.ThresholdSweep(base, core.Dynamic, robots[0],
+			[]float64{5, 10, 20, 40, 60}, seedList)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "coverage":
+		t, err := figures.CoverageComparison(base, robots[0], seedList, progress)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	default:
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("robot count %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

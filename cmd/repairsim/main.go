@@ -1,0 +1,80 @@
+// Command repairsim runs one sensor-replacement simulation and prints its
+// results.
+//
+// Usage:
+//
+//	repairsim -alg dynamic -robots 9 -simtime 64000 -seed 1 [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"roborepair"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repairsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repairsim", flag.ContinueOnError)
+	cfg := roborepair.DefaultConfig()
+
+	algName := fs.String("alg", cfg.Algorithm.String(), "algorithm: centralized|fixed|dynamic")
+	fs.IntVar(&cfg.Robots, "robots", cfg.Robots, "number of maintenance robots")
+	fs.Float64Var(&cfg.SimTime, "simtime", cfg.SimTime, "simulated seconds")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	fs.Float64Var(&cfg.MeanLifetime, "lifetime", cfg.MeanLifetime, "mean sensor lifetime (s)")
+	fs.Float64Var(&cfg.UpdateThreshold, "threshold", cfg.UpdateThreshold, "robot location-update threshold (m)")
+	fs.Float64Var(&cfg.LossP, "loss", 0, "per-reception loss probability")
+	fs.IntVar(&cfg.SensorsPerRobot, "density", cfg.SensorsPerRobot, "sensors per robot's worth of area")
+	hex := fs.Bool("hex", false, "use hexagonal partition (fixed algorithm)")
+	efficient := fs.Bool("efficient-broadcast", false, "enable the §4.3.2 relay-set optimization")
+	fs.Float64Var(&cfg.SensingRange, "sensing", 0, "sensing radius (m); >0 tracks coverage")
+	fs.IntVar(&cfg.CargoCapacity, "cargo", 0, "robot cargo capacity; 0 = unlimited")
+	verbose := fs.Bool("v", false, "dump the full metrics registry")
+	asJSON := fs.Bool("json", false, "emit results as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, err := roborepair.ParseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	cfg.Algorithm = alg
+	if *hex {
+		cfg.Partition = roborepair.PartitionHex
+	}
+	cfg.EfficientBroadcast = *efficient
+
+	res, err := roborepair.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("total travel: %.1f m   report delivery: %.3f   repair ratio: %.3f   avg repair delay: %.1f s\n",
+		res.TotalTravel, res.ReportDeliveryRatio(), res.RepairRatio(), res.AvgRepairDelay)
+	if cfg.SensingRange > 0 {
+		fmt.Printf("coverage: mean %.3f   min %.3f (sensing radius %.0f m)\n",
+			res.MeanCoverage, res.MinCoverage, cfg.SensingRange)
+	}
+	if *verbose {
+		fmt.Print(res.Registry.Dump())
+	}
+	return nil
+}

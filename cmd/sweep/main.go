@@ -1,0 +1,114 @@
+// Command sweep runs parameter sweeps over the simulator and emits one
+// CSV row per run, suitable for plotting.
+//
+// Usage:
+//
+//	sweep -param robots -values 1,2,4,9,16 -algs dynamic,fixed
+//	sweep -param lifetime -values 4000,8000,16000,32000
+//	sweep -param threshold -values 5,10,20,40
+//	sweep -param loss -values 0,0.05,0.1,0.2
+//	sweep -param density -values 25,50,100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"roborepair"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	param := fs.String("param", "robots", "robots|cargo|sensing|lifetime|threshold|loss|density")
+	values := fs.String("values", "4,9,16", "comma-separated values of the swept parameter")
+	algsFlag := fs.String("algs", "centralized,fixed,dynamic", "algorithms to sweep")
+	simtime := fs.Float64("simtime", 16000, "simulated seconds per run")
+	seeds := fs.Int("seeds", 1, "seeds per configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	vals, err := parseFloats(*values)
+	if err != nil {
+		return err
+	}
+	var algs []roborepair.Algorithm
+	for _, name := range strings.Split(*algsFlag, ",") {
+		a, err := roborepair.ParseAlgorithm(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		algs = append(algs, a)
+	}
+
+	fmt.Println("algorithm,param,value,seed,failures,reports_delivered,repairs," +
+		"travel_per_failure_m,report_hops,request_hops,update_tx_per_failure,repair_delay_s")
+	for _, alg := range algs {
+		for _, v := range vals {
+			for seed := int64(1); seed <= int64(*seeds); seed++ {
+				cfg := roborepair.DefaultConfig()
+				cfg.Algorithm = alg
+				cfg.SimTime = *simtime
+				cfg.Seed = seed
+				if err := apply(&cfg, *param, v); err != nil {
+					return err
+				}
+				res, err := roborepair.Run(cfg)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%s,%s,%g,%d,%d,%d,%d,%.2f,%.3f,%.3f,%.2f,%.1f\n",
+					alg, *param, v, seed,
+					res.FailuresInjected, res.ReportsDelivered, res.Repairs,
+					res.AvgTravelPerFailure, res.AvgReportHops, res.AvgRequestHops,
+					res.LocUpdateTxPerFailure, res.AvgRepairDelay)
+			}
+		}
+	}
+	return nil
+}
+
+func apply(cfg *roborepair.Config, param string, v float64) error {
+	switch param {
+	case "robots":
+		cfg.Robots = int(v)
+	case "lifetime":
+		cfg.MeanLifetime = v
+	case "threshold":
+		cfg.UpdateThreshold = v
+	case "loss":
+		cfg.LossP = v
+	case "density":
+		cfg.SensorsPerRobot = int(v)
+	case "cargo":
+		cfg.CargoCapacity = int(v)
+	case "sensing":
+		cfg.SensingRange = v
+	default:
+		return fmt.Errorf("unknown -param %q", param)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+// Command validate cross-checks the simulator against the closed-form
+// models of internal/analysis and prints a PASS/FAIL row per invariant.
+// It is the fast "is this reproduction sane?" gate — each check compares
+// an end-to-end simulated quantity with geometric probability, renewal
+// theory, or queueing theory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"roborepair"
+	"roborepair/internal/analysis"
+	"roborepair/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+}
+
+type check struct {
+	name      string
+	simulated float64
+	predicted float64
+	tolerance float64 // relative
+}
+
+func (c check) pass() bool {
+	if c.predicted == 0 {
+		return c.simulated == 0
+	}
+	return math.Abs(c.simulated-c.predicted)/c.predicted <= c.tolerance
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	simtime := fs.Float64("simtime", 16000, "simulated seconds per run")
+	robots := fs.Int("robots", 9, "maintenance robots")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := roborepair.DefaultConfig()
+	base.SimTime = *simtime
+	base.Robots = *robots
+	base.Seed = *seed
+
+	runAlg := func(alg roborepair.Algorithm) (roborepair.Results, error) {
+		cfg := base
+		cfg.Algorithm = alg
+		return roborepair.Run(cfg)
+	}
+	dyn, err := runAlg(roborepair.Dynamic)
+	if err != nil {
+		return err
+	}
+	fx, err := runAlg(roborepair.Fixed)
+	if err != nil {
+		return err
+	}
+	ce, err := runAlg(roborepair.Centralized)
+	if err != nil {
+		return err
+	}
+
+	checks := []check{
+		{
+			name:      "failures ≈ N·H/T (renewal theory)",
+			simulated: float64(dyn.FailuresInjected),
+			predicted: analysis.ExpectedFailures(base.NumSensors(), base.MeanLifetime, base.SimTime),
+			tolerance: 0.20,
+		},
+		{
+			name:      "dynamic travel ≈ nearest-of-k robots",
+			simulated: dyn.AvgTravelPerFailure,
+			predicted: analysis.ExpectedNearestOfK(base.FieldSide(), base.Robots),
+			tolerance: 0.25,
+		},
+		{
+			name:      "fixed travel ≈ uniform pair distance in subarea",
+			simulated: fx.AvgTravelPerFailure,
+			predicted: analysis.ExpectedPairDist(base.AreaPerRobotSide),
+			tolerance: 0.25,
+		},
+		{
+			name:      "centralized report hops ≈ dist-to-center / hop progress",
+			simulated: ce.AvgReportHops,
+			predicted: analysis.ExpectedHops(
+				analysis.ExpectedDistToCenter(base.FieldSide()),
+				base.SensorRange, base.SensorRange),
+			tolerance: 0.35,
+		},
+		{
+			name:      "distributed report hops ≈ 2 (paper §4.3.2)",
+			simulated: dyn.AvgReportHops,
+			predicted: 2,
+			tolerance: 0.5,
+		},
+		{
+			name:      "report delivery ratio ≈ 1 (paper: 100%)",
+			simulated: dyn.ReportDeliveryRatio(),
+			predicted: 1,
+			tolerance: 0.05,
+		},
+	}
+
+	t := report.NewTable("Simulator vs closed-form models",
+		"invariant", "simulated", "predicted", "tolerance", "verdict")
+	failures := 0
+	for _, c := range checks {
+		verdict := "PASS"
+		if !c.pass() {
+			verdict = "FAIL"
+			failures++
+		}
+		t.AddRow(c.name, report.F(c.simulated), report.F(c.predicted),
+			fmt.Sprintf("±%.0f%%", c.tolerance*100), verdict)
+	}
+	fmt.Println(t.String())
+	if failures > 0 {
+		return fmt.Errorf("%d invariant(s) failed", failures)
+	}
+	fmt.Println("all invariants hold")
+	return nil
+}

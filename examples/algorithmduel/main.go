@@ -1,0 +1,52 @@
+// Algorithmduel: the paper's conclusion is that "the optimal choice of the
+// coordination algorithm depends on the specific scenarios and objectives
+// being optimized." This example runs all three algorithms on identical
+// deployments (same seed, same failure times) and prints a side-by-side
+// comparison of the trade-off: motion overhead vs messaging overhead vs
+// scalability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roborepair"
+	"roborepair/internal/report"
+)
+
+func main() {
+	const robots = 9
+	algs := []roborepair.Algorithm{roborepair.Centralized, roborepair.Fixed, roborepair.Dynamic}
+
+	t := report.NewTable(
+		fmt.Sprintf("Coordination algorithm duel — %d robots, identical deployments", robots),
+		"algorithm", "repairs", "travel_m/fail", "report_hops", "request_hops",
+		"update_tx/fail", "repair_delay_s")
+
+	for _, alg := range algs {
+		cfg := roborepair.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.Robots = robots
+		cfg.SimTime = 16000
+		cfg.Seed = 42
+		res, err := roborepair.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(
+			alg.String(),
+			report.I(res.Repairs),
+			report.F1(res.AvgTravelPerFailure),
+			report.F(res.AvgReportHops),
+			report.F(res.AvgRequestHops),
+			report.F1(res.LocUpdateTxPerFailure),
+			report.F1(res.AvgRepairDelay),
+		)
+	}
+	fmt.Println(t.String())
+	fmt.Println("Reading the table (paper §4.3):")
+	fmt.Println("  · centralized & dynamic: lowest travel (failures go to the closest robot)")
+	fmt.Println("  · fixed & dynamic: report hops stay ≈2 regardless of field size")
+	fmt.Println("  · centralized: tiny update overhead but report hops grow with the field")
+	fmt.Println("  · dynamic: pays the highest location-update flooding bill")
+}

@@ -1,0 +1,59 @@
+// Disasterfield: the paper motivates sensor replacement with unattended
+// networks "in various environments such as disaster areas, hazard fields,
+// or battle fields". This example deploys the largest paper configuration
+// (16 robots, 800 sensors over 800 m × 800 m) and, on top of natural
+// attrition, injects a correlated burst — a localized fire that kills
+// every sensor within 120 m of a point — then reports how the robot team
+// absorbs the repair backlog.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roborepair"
+	"roborepair/internal/failure"
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+)
+
+func main() {
+	cfg := roborepair.DefaultConfig()
+	cfg.Algorithm = roborepair.Dynamic
+	cfg.Robots = 16
+	cfg.SimTime = 24000
+	cfg.Seed = 7
+
+	w, err := roborepair.NewWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A fire breaks out at t=8000 s near the north-east quadrant.
+	burst := failure.Burst{At: 8000, Center: geom.Pt(600, 600), Radius: 120}
+	population := make([]failure.Failable, 0, len(w.Sensors))
+	for _, s := range w.Sensors {
+		population = append(population, s)
+	}
+	w.Injector.ScheduleBurst(burst, population)
+
+	res := w.Run()
+
+	fmt.Println("=== disaster field: 800 sensors, 16 robots, localized fire at t=8000s ===")
+	fmt.Printf("failures (natural + burst):   %d\n", res.FailuresInjected)
+	fmt.Printf("failures reported:            %d (delivery %.1f%%)\n",
+		res.ReportsSent, res.ReportDeliveryRatio()*100)
+	fmt.Printf("nodes replaced:               %d (%.1f%% of failures)\n",
+		res.Repairs, res.RepairRatio()*100)
+	fmt.Printf("avg robot travel per failure: %.1f m (total %.0f m)\n",
+		res.AvgTravelPerFailure, res.TotalTravel)
+	fmt.Printf("avg repair delay:             %.0f s\n", res.AvgRepairDelay)
+	fmt.Printf("max repair delay:             %.0f s (burst backlog)\n",
+		res.Registry.Series(metrics.SeriesRepairDelay).Max())
+	fmt.Printf("max robot queue length:       %.0f tasks\n",
+		res.Registry.Series(metrics.SeriesQueueLength).Max())
+	fmt.Println()
+	fmt.Println("The burst kills a cluster of nodes at once; guardians detect their")
+	fmt.Println("guardees within three beacon periods, and nearby robots queue the")
+	fmt.Println("repairs FCFS — the max repair delay shows the backlog draining.")
+}

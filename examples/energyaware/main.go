@@ -1,0 +1,82 @@
+// Energyaware: the paper's motion-overhead metric (Figure 2) is travel
+// distance because "the robots' traveling distance ... reflects the energy
+// consumed". This example converts each algorithm's travel distance into
+// Joules using the Pioneer 3DX power model from the authors' own robot
+// energy study (reference [9]) and estimates battery life per robot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roborepair"
+	"roborepair/internal/energy"
+	"roborepair/internal/report"
+)
+
+func main() {
+	model := energy.Pioneer3DX()
+	// Pioneer 3DX: 3 × 12 V 7.2 Ah lead-acid ≈ 252 Wh ≈ 0.9 MJ.
+	const batteryJ = 0.9e6
+
+	t := report.NewTable(
+		"Robot energy per algorithm (9 robots, 16000 s, Pioneer 3DX model)",
+		"algorithm", "travel_m/robot", "motion_energy_kJ", "mission_energy_kJ",
+		"battery_life_h")
+
+	for _, alg := range []roborepair.Algorithm{
+		roborepair.Centralized, roborepair.Fixed, roborepair.Dynamic,
+	} {
+		cfg := roborepair.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.Robots = 9
+		cfg.SimTime = 16000
+		res, err := roborepair.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perRobot := res.TotalTravel / float64(cfg.Robots)
+		motion := model.MotionEnergyJ(perRobot, cfg.RobotSpeed)
+		mission := model.MissionEnergyJ(perRobot, cfg.RobotSpeed, cfg.SimTime)
+		life := model.BatteryLifeS(batteryJ, perRobot, cfg.RobotSpeed, cfg.SimTime)
+		t.AddRow(
+			alg.String(),
+			report.F1(perRobot),
+			report.F1(motion/1e3),
+			report.F1(mission/1e3),
+			report.F1(life/3600),
+		)
+	}
+	fmt.Println(t.String())
+
+	// Sensor-side messaging energy: what Figure 4's transmission counts
+	// cost the network in battery terms.
+	mote := energy.TypicalMote()
+	t2 := report.NewTable(
+		"Sensor network radio energy (same runs, CC1000-class motes)",
+		"algorithm", "total_tx", "messaging_J", "idle_J", "messaging_share_%")
+	for _, alg := range []roborepair.Algorithm{
+		roborepair.Centralized, roborepair.Fixed, roborepair.Dynamic,
+	} {
+		cfg := roborepair.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.Robots = 9
+		cfg.SimTime = 16000
+		res, err := roborepair.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tx := res.Registry.TotalTx()
+		const avgNeighbors = 12 // ≈ density × π·63² at §4.1 parameters
+		msg := mote.MessagingEnergyJ(tx, avgNeighbors)
+		idle := mote.IdleEnergyJ(cfg.NumSensors(), cfg.SimTime)
+		share := mote.MessagingShare(tx, avgNeighbors, cfg.NumSensors(), cfg.SimTime)
+		t2.AddRow(alg.String(), report.U(tx), report.F1(msg), report.F1(idle),
+			report.F(share*100))
+	}
+	fmt.Println(t2.String())
+	fmt.Println("Motion energy tracks Figure 2's travel distances, but the hotel load")
+	fmt.Println("(embedded computer + sonar) dominates at this failure rate: robots")
+	fmt.Println("spend most of the mission waiting, which is exactly why the paper")
+	fmt.Println("argues a few robots are cheaper than giving every sensor a motor.")
+}

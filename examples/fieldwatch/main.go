@@ -1,0 +1,82 @@
+// Fieldwatch: watch the sensor field evolve. Renders ASCII snapshots of
+// the field at regular intervals while robots chase failures, then prints
+// the causal trace of the last few failures. Demonstrates the World API,
+// the step-wise scheduler, the trace log, and the viz renderer together.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roborepair"
+	"roborepair/internal/geom"
+	"roborepair/internal/sim"
+	"roborepair/internal/viz"
+)
+
+func main() {
+	cfg := roborepair.DefaultConfig()
+	cfg.Algorithm = roborepair.Dynamic
+	cfg.Robots = 4
+	cfg.SimTime = 12000
+	cfg.TraceCapacity = -1
+	cfg.Seed = 3
+
+	w, err := roborepair.NewWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounds := geom.Square(geom.Pt(0, 0), cfg.FieldSide())
+
+	snapshot := func() {
+		var stations []viz.Station
+		for _, s := range w.Sensors {
+			glyph := viz.GlyphSensor
+			if !s.Alive() {
+				glyph = viz.GlyphDead
+			}
+			stations = append(stations, viz.Station{Loc: s.Pos(), Glyph: rune(glyph)})
+		}
+		for _, r := range w.Robots {
+			stations = append(stations, viz.Station{Loc: r.Pos(), Glyph: viz.GlyphRobot})
+		}
+		fmt.Printf("t = %6.0f s   (%s)\n", float64(w.Sched.Now()), viz.Legend())
+		fmt.Print(viz.Render(bounds, 60, 24, stations))
+		fmt.Println()
+	}
+
+	// Advance the clock in slices, rendering between them.
+	for _, at := range []sim.Time{0, 4000, 8000, 12000} {
+		w.Sched.Run(at)
+		snapshot()
+	}
+	res := w.Run() // finalize counters at the horizon
+
+	fmt.Printf("failures=%d repaired=%d travel/failure=%.1fm\n\n",
+		res.FailuresInjected, res.Repairs, res.AvgTravelPerFailure)
+
+	fmt.Println("last failure lifecycles (failure → report → replacement):")
+	chains := w.Trace.Chains()
+	start := len(chains) - 5
+	if start < 0 {
+		start = 0
+	}
+	for _, c := range chains[start:] {
+		status := "unrepaired"
+		if c.Repaired {
+			status = fmt.Sprintf("repaired after %.0f s", float64(c.RepairDelay()))
+		}
+		fmt.Printf("  node %v failed at %7.0f s, detected in %4.0f s, %s\n",
+			c.Failed, float64(c.FailureAt), float64(c.DetectionDelay()), status)
+	}
+	fmt.Println()
+	fmt.Println("trace tail:")
+	events := w.Trace.Events()
+	tail := len(events) - 8
+	if tail < 0 {
+		tail = 0
+	}
+	for _, e := range events[tail:] {
+		fmt.Println("  " + e.String())
+	}
+}

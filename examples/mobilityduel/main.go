@@ -1,0 +1,71 @@
+// Mobilityduel: the paper's core economic claim is that a few mobile
+// robots beat giving every sensor mobility ("mobility is an expensive
+// feature ... Adding mobility to a large number of sensor nodes is
+// expensive"). This example runs the paper's robot system and the Wang et
+// al. [13] sensor-relocation baseline on matching failure processes and
+// compares who moves, how far, and how many mobility platforms each
+// approach has to pay for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roborepair"
+	"roborepair/internal/relocation"
+	"roborepair/internal/report"
+)
+
+func main() {
+	// Robot system: the paper's 4-robot scenario.
+	rcfg := roborepair.DefaultConfig()
+	rcfg.Algorithm = roborepair.Dynamic
+	rcfg.Robots = 4
+	rcfg.SimTime = 16000
+	robotRes, err := roborepair.Run(rcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Relocation baseline: same field, same population, same failure law.
+	bcfg := relocation.DefaultConfig()
+	bcfg.FieldSide = rcfg.FieldSide()
+	bcfg.Sensors = rcfg.NumSensors()
+	bcfg.MeanLifetime = rcfg.MeanLifetime
+	bcfg.Horizon = rcfg.SimTime
+	baseline, err := relocation.Simulate(bcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable(
+		"Robot replacement (paper) vs sensor self-relocation (Wang et al. [13])",
+		"metric", "robots", "relocation")
+	t.AddRow("mobility platforms needed",
+		report.I(rcfg.Robots),
+		fmt.Sprintf("%d (every sensor)", bcfg.Sensors+int(float64(bcfg.Sensors)*bcfg.SpareFraction)))
+	t.AddRow("failures handled",
+		report.I(robotRes.Repairs), report.I(baseline.Filled))
+	t.AddRow("movement per failure (m)",
+		report.F1(robotRes.AvgTravelPerFailure), report.F1(baseline.CascadeTotalPerFailure))
+	t.AddRow("max single-node move (m)",
+		report.F1(robotRes.AvgTravelPerFailure),
+		report.F1(baseline.CascadeMaxHopPerFailure)+" (cascaded)")
+	t.AddRow("nodes disturbed per failure",
+		"1 (a robot)", report.F1(baseline.CascadeMovesPerFailure))
+	t.AddRow("movement response time (s)",
+		report.F1(robotRes.AvgTravelPerFailure/rcfg.RobotSpeed),
+		report.F1(baseline.CascadeResponseS)+" (parallel cascade)")
+	t.AddRow("unfilled failures",
+		report.I(robotRes.FailuresInjected-robotRes.Repairs),
+		report.I(baseline.Unfilled))
+	fmt.Println(t.String())
+
+	fmt.Println("Reading the table:")
+	fmt.Println("  · the robot system needs 4 mobility platforms; relocation needs ~220")
+	fmt.Println("    (every sensor carries motors, wheels, and localization)")
+	fmt.Println("  · cascaded relocation responds faster per failure (short parallel")
+	fmt.Println("    moves) — exactly the trade-off [13] optimizes")
+	fmt.Println("  · but relocation consumes the sensing fleet's own energy and runs")
+	fmt.Println("    out of spares; robots carry fresh nodes indefinitely")
+}

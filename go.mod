@@ -1,0 +1,3 @@
+module roborepair
+
+go 1.22

@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"fmt"
+	"math"
+
+	"roborepair/internal/analysis"
+)
+
+// The paper's ~100 m travel level falls out of the geometry: the expected
+// distance to the nearest of k robots depends only on the area per robot.
+func ExampleExpectedNearestOfK() {
+	for _, k := range []int{4, 9, 16} {
+		side := 200.0 * math.Sqrt(float64(k))
+		fmt.Printf("k=%-2d field=%.0fm E[travel]=%.0fm\n",
+			k, side, analysis.ExpectedNearestOfK(side, k))
+	}
+	// Output:
+	// k=4  field=400m E[travel]=100m
+	// k=9  field=600m E[travel]=100m
+	// k=16 field=800m E[travel]=100m
+}
+
+// Renewal theory predicts the failure workload of the paper's runs.
+func ExampleExpectedFailures() {
+	// 800 sensors, 16000 s mean lifetime, 64000 s horizon.
+	fmt.Println(analysis.ExpectedFailures(800, 16000, 64000))
+	// Output:
+	// 3200
+}

@@ -1,0 +1,466 @@
+// Package core implements the paper's contribution: the three robot
+// coordination algorithms for sensor replacement.
+//
+//   - Centralized manager (§3.1): a static robot at the field center
+//     receives every failure report and forwards each to the maintenance
+//     robot currently closest to the failure. Robots update their location
+//     to the manager by unicast and to nearby sensors by one-hop broadcast.
+//
+//   - Fixed distributed manager (§3.2): the field is partitioned into
+//     equal subareas, one robot per subarea; each robot is both manager
+//     and maintainer for its subarea. Location updates are flooded to the
+//     subarea's sensors.
+//
+//   - Dynamic distributed manager (§3.3): subareas are implicit Voronoi
+//     cells maintained by message passing — each sensor tracks the closest
+//     robot it has heard of ("myrobot") and relays a robot's location
+//     update if it adopts (or previously held) that robot, so the relay
+//     region approximates the union of the robot's old and new cells.
+//
+// The package provides the sensor-side policies (node.Policy), the
+// robot-side update dissemination modes (robot.UpdateMode), and the
+// central manager station.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+	"roborepair/internal/netstack"
+	"roborepair/internal/node"
+	"roborepair/internal/radio"
+	"roborepair/internal/robot"
+	"roborepair/internal/sim"
+	"roborepair/internal/wire"
+)
+
+// Algorithm selects one of the paper's three coordination algorithms.
+type Algorithm int
+
+const (
+	// Centralized is the central-manager algorithm of §3.1.
+	Centralized Algorithm = iota + 1
+	// Fixed is the fixed distributed manager algorithm of §3.2.
+	Fixed
+	// Dynamic is the dynamic distributed manager algorithm of §3.3.
+	Dynamic
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case Centralized:
+		return "centralized"
+	case Fixed:
+		return "fixed"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// MarshalJSON encodes the algorithm as its figure-style name.
+func (a Algorithm) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
+// UnmarshalJSON decodes a figure-style name.
+func (a *Algorithm) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseAlgorithm(s)
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
+// ParseAlgorithm converts a figure-style name into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "centralized":
+		return Centralized, nil
+	case "fixed":
+		return Fixed, nil
+	case "dynamic":
+		return Dynamic, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q", s)
+	}
+}
+
+// FloodTTL is the safety bound on location-update flood relaying; the
+// relay predicate, not the TTL, is the intended scope limit.
+const FloodTTL = 32
+
+// updateCategory assigns a robot's very first announcement (sequence 1) to
+// initialization traffic; all later updates are location-update traffic,
+// the quantity of Figure 4.
+func updateCategory(seq uint64) string {
+	if seq <= 1 {
+		return metrics.CatInit
+	}
+	return metrics.CatLocUpdate
+}
+
+// ---------------------------------------------------------------------
+// Centralized manager algorithm
+// ---------------------------------------------------------------------
+
+// CentralizedPolicy is the sensor policy under the centralized algorithm:
+// every sensor reports to the static central manager, and the only flood a
+// sensor relays is the manager's initial network-wide announcement.
+type CentralizedPolicy struct {
+	ManagerID radio.NodeID
+}
+
+// Consider implements node.Policy.
+func (p CentralizedPolicy) Consider(s *node.Sensor, up wire.RobotUpdate) bool {
+	if up.Robot != p.ManagerID {
+		return false // maintenance robots announce one-hop only
+	}
+	s.SetTarget(up.Robot, up.Loc)
+	return true
+}
+
+// GuardianOK implements node.Policy: no restriction.
+func (p CentralizedPolicy) GuardianOK(_, _ geom.Point) bool { return true }
+
+var _ node.Policy = CentralizedPolicy{}
+
+// CentralizedUpdate is the robot-side update mode under the centralized
+// algorithm: a geographically routed unicast to the manager plus a one-hop
+// broadcast to neighbor sensors (§3.1).
+type CentralizedUpdate struct {
+	ManagerID  radio.NodeID
+	ManagerLoc geom.Point
+}
+
+// Publish implements robot.UpdateMode.
+func (u CentralizedUpdate) Publish(r *robot.Robot, up wire.RobotUpdate) {
+	cat := updateCategory(up.Seq)
+	// One-hop broadcast so nearby sensors can deliver failure traffic to
+	// the moving robot.
+	r.Router().Medium.Send(radio.Frame{
+		Src:      r.ID(),
+		Dst:      radio.IDBroadcast,
+		Category: cat,
+		Payload:  up,
+	})
+	// Unicast to the manager so dispatch decisions use fresh locations.
+	r.Router().Originate(netstack.Packet{
+		Dst:      u.ManagerID,
+		DstLoc:   u.ManagerLoc,
+		Category: cat,
+		Payload:  up,
+	})
+}
+
+var _ robot.UpdateMode = CentralizedUpdate{}
+
+// DispatchPolicy selects how the central manager picks the robot for a
+// failure.
+type DispatchPolicy int
+
+const (
+	// DispatchClosest is the paper's rule: "the manager selects the robot
+	// whose current location is the closest to the failure".
+	DispatchClosest DispatchPolicy = iota
+	// DispatchShortestETA is the future-work extension: the manager
+	// scores each robot by distance plus its outstanding workload (from
+	// the Load field of its location updates), avoiding the myopic
+	// pile-up on a busy robot that happens to sit nearby.
+	DispatchShortestETA
+)
+
+// String names the policy.
+func (p DispatchPolicy) String() string {
+	if p == DispatchShortestETA {
+		return "shortest-eta"
+	}
+	return "closest"
+}
+
+// ManagerHooks observe the central manager.
+type ManagerHooks struct {
+	// OnReportReceived fires when a failure report reaches the manager.
+	OnReportReceived func(rep wire.FailureReport, hops int)
+	// OnRequestIssued fires when the manager dispatches a repair request.
+	OnRequestIssued func(req wire.RepairRequest, to radio.NodeID)
+	// OnUndispatchable fires when a report arrives before any robot
+	// location is known.
+	OnUndispatchable func(rep wire.FailureReport)
+}
+
+// Manager is the static central manager station of §3.1. It is modeled as
+// a robot that does not move, "located at the center of the area to
+// balance failure reports from all directions".
+type Manager struct {
+	id     radio.NodeID
+	pos    geom.Point
+	rng    float64
+	medium *radio.Medium
+	router *netstack.Router
+	hooks  ManagerHooks
+	policy DispatchPolicy
+
+	robots map[radio.NodeID]robotInfo
+	// meanDispatchDist is the running mean of dispatch distances, used as
+	// the per-task service estimate by the ETA policy.
+	meanDispatchDist float64
+	dispatches       int
+	seq              uint64
+}
+
+// robotInfo is the manager's view of one maintenance robot.
+type robotInfo struct {
+	loc  geom.Point
+	load int
+}
+
+var _ radio.Station = (*Manager)(nil)
+
+// NewManager constructs the manager at pos (the field center) with the
+// robot transmission range.
+func NewManager(id radio.NodeID, pos geom.Point, txRange float64, medium *radio.Medium, hooks ManagerHooks) *Manager {
+	m := &Manager{
+		id:     id,
+		pos:    pos,
+		rng:    txRange,
+		medium: medium,
+		hooks:  hooks,
+		robots: make(map[radio.NodeID]robotInfo),
+	}
+	m.router = &netstack.Router{
+		ID:     id,
+		Pos:    func() geom.Point { return m.pos },
+		Range:  func() float64 { return m.rng },
+		Medium: medium,
+		Source: netstack.MediumSource{
+			Medium: medium,
+			Self:   id,
+			Pos:    func() geom.Point { return m.pos },
+			Range:  func() float64 { return m.rng },
+		},
+		Deliver: m.deliver,
+		OnDrop: func(p netstack.Packet, reason netstack.DropReason) {
+			medium.Metrics().CountTx("drop_"+string(reason), 1)
+		},
+	}
+	return m
+}
+
+// ID returns the manager's address.
+func (m *Manager) ID() radio.NodeID { return m.id }
+
+// Pos returns the manager's fixed location.
+func (m *Manager) Pos() geom.Point { return m.pos }
+
+// RobotLocations returns a copy of the manager's tracked robot positions.
+func (m *Manager) RobotLocations() map[radio.NodeID]geom.Point {
+	out := make(map[radio.NodeID]geom.Point, len(m.robots))
+	for k, v := range m.robots {
+		out[k] = v.loc
+	}
+	return out
+}
+
+// SetDispatchPolicy selects the dispatch rule (DispatchClosest default).
+func (m *Manager) SetDispatchPolicy(p DispatchPolicy) { m.policy = p }
+
+// RadioID implements radio.Station.
+func (m *Manager) RadioID() radio.NodeID { return m.id }
+
+// RadioPos implements radio.Station.
+func (m *Manager) RadioPos() geom.Point { return m.pos }
+
+// RadioRange implements radio.Station.
+func (m *Manager) RadioRange() float64 { return m.rng }
+
+// RadioActive implements radio.Station: the manager does not fail.
+func (m *Manager) RadioActive() bool { return true }
+
+// Start attaches the manager and floods its location network-wide after
+// initDelay ("the manager broadcasts its location to all the sensor nodes
+// and all the maintenance robots", §3.1).
+func (m *Manager) Start(initDelay sim.Duration) {
+	m.medium.Attach(m)
+	m.medium.Scheduler().After(initDelay, func() {
+		m.seq++
+		m.medium.Send(radio.Frame{
+			Src:      m.id,
+			Dst:      radio.IDBroadcast,
+			Category: metrics.CatInit,
+			Payload: netstack.FloodMsg{
+				Origin:   m.id,
+				Seq:      m.seq,
+				Category: metrics.CatInit,
+				Payload:  wire.RobotUpdate{Robot: m.id, Loc: m.pos, Seq: m.seq},
+				TTL:      FloodTTL,
+			},
+		})
+	})
+}
+
+// TrackRobot primes the manager's location table (used when robots
+// register by unicast during initialization).
+func (m *Manager) TrackRobot(id radio.NodeID, loc geom.Point) {
+	m.robots[id] = robotInfo{loc: loc}
+}
+
+// HandleFrame implements radio.Station.
+func (m *Manager) HandleFrame(f radio.Frame) {
+	switch p := f.Payload.(type) {
+	case netstack.Packet:
+		m.router.Receive(p)
+	}
+}
+
+// deliver processes packets addressed to the manager: robot location
+// updates refresh the dispatch table, failure reports are forwarded to the
+// closest robot.
+func (m *Manager) deliver(p netstack.Packet) {
+	switch msg := p.Payload.(type) {
+	case wire.RobotUpdate:
+		m.robots[msg.Robot] = robotInfo{loc: msg.Loc, load: msg.Load}
+	case wire.FailureReport:
+		if m.hooks.OnReportReceived != nil {
+			m.hooks.OnReportReceived(msg, p.Hops)
+		}
+		m.dispatch(msg)
+	}
+}
+
+// dispatch selects the robot for a failure per the dispatch policy — by
+// default "the robot whose current location is the closest to the
+// failure" — and forwards a repair request to it.
+func (m *Manager) dispatch(rep wire.FailureReport) {
+	var best radio.NodeID
+	bestScore := -1.0
+	for id, info := range m.robots {
+		var score float64
+		switch m.policy {
+		case DispatchShortestETA:
+			est := m.meanDispatchDist
+			if m.dispatches == 0 {
+				est = 100 // the geometry’s prior (½·√(area/robot))
+			}
+			score = info.loc.Dist(rep.Loc) + float64(info.load)*est
+		default:
+			score = info.loc.Dist2(rep.Loc)
+		}
+		if bestScore < 0 || score < bestScore || (score == bestScore && id < best) {
+			best, bestScore = id, score
+		}
+	}
+	if bestScore < 0 {
+		if m.hooks.OnUndispatchable != nil {
+			m.hooks.OnUndispatchable(rep)
+		}
+		return
+	}
+	d := m.robots[best].loc.Dist(rep.Loc)
+	m.meanDispatchDist = (m.meanDispatchDist*float64(m.dispatches) + d) / float64(m.dispatches+1)
+	m.dispatches++
+	req := wire.RepairRequest{Failed: rep.Failed, Loc: rep.Loc, IssuedAt: m.medium.Scheduler().Now()}
+	if m.hooks.OnRequestIssued != nil {
+		m.hooks.OnRequestIssued(req, best)
+	}
+	m.router.Originate(netstack.Packet{
+		Dst:      best,
+		DstLoc:   m.robots[best].loc,
+		Category: metrics.CatRepairRequest,
+		Payload:  req,
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fixed distributed manager algorithm
+// ---------------------------------------------------------------------
+
+// FixedPolicy is the sensor policy under the fixed algorithm: the sensor's
+// myrobot is the robot assigned to its subarea, and a robot's location
+// updates are relayed by exactly the sensors of that robot's subarea.
+type FixedPolicy struct {
+	Partition *geom.Partition
+	// Home maps each robot ID to its subarea index.
+	Home map[radio.NodeID]int
+}
+
+// Consider implements node.Policy.
+func (p FixedPolicy) Consider(s *node.Sensor, up wire.RobotUpdate) bool {
+	home, ok := p.Home[up.Robot]
+	if !ok {
+		return false
+	}
+	if p.Partition.OwnerOf(s.Pos()) != home {
+		return false
+	}
+	s.SetTarget(up.Robot, up.Loc)
+	return true
+}
+
+// GuardianOK implements node.Policy: guardian and guardee must share a
+// subarea (§3.2).
+func (p FixedPolicy) GuardianOK(guardee, guardian geom.Point) bool {
+	return p.Partition.OwnerOf(guardee) == p.Partition.OwnerOf(guardian)
+}
+
+var _ node.Policy = FixedPolicy{}
+
+// FloodUpdate is the robot-side update mode of both distributed
+// algorithms: the robot originates a controlled flood; sensor policies
+// bound its extent.
+type FloodUpdate struct{}
+
+// Publish implements robot.UpdateMode.
+func (FloodUpdate) Publish(r *robot.Robot, up wire.RobotUpdate) {
+	cat := updateCategory(up.Seq)
+	r.Router().Medium.Send(radio.Frame{
+		Src:      r.ID(),
+		Dst:      radio.IDBroadcast,
+		Category: cat,
+		Payload: netstack.FloodMsg{
+			Origin:   r.ID(),
+			Seq:      up.Seq,
+			Category: cat,
+			Payload:  up,
+			TTL:      FloodTTL,
+		},
+	})
+}
+
+var _ robot.UpdateMode = FloodUpdate{}
+
+// ---------------------------------------------------------------------
+// Dynamic distributed manager algorithm
+// ---------------------------------------------------------------------
+
+// DynamicPolicy is the sensor policy under the dynamic algorithm: each
+// sensor keeps myrobot = the closest robot it has heard of, and relays a
+// robot's update when it adopts that robot or is abandoning it — so the
+// relay region approximates the union of the robot's old and new Voronoi
+// cells (the shaded region of the paper's Figure 1).
+type DynamicPolicy struct{}
+
+// Consider implements node.Policy.
+func (DynamicPolicy) Consider(s *node.Sensor, up wire.RobotUpdate) bool {
+	prev, _ := s.Target()
+	best, bestLoc, ok := s.ClosestKnownRobot()
+	if !ok {
+		return false
+	}
+	s.SetTarget(best, bestLoc)
+	return best == up.Robot || prev == up.Robot
+}
+
+// GuardianOK implements node.Policy: no restriction.
+func (DynamicPolicy) GuardianOK(_, _ geom.Point) bool { return true }
+
+var _ node.Policy = DynamicPolicy{}

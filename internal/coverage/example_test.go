@@ -1,0 +1,31 @@
+package coverage_test
+
+import (
+	"fmt"
+
+	"roborepair/internal/coverage"
+	"roborepair/internal/geom"
+)
+
+// Estimate how much of a field a handful of sensors cover.
+func ExampleEstimator_Fraction() {
+	field := geom.Square(geom.Pt(0, 0), 100)
+	est := coverage.NewEstimator(field, 60, 50, 50)
+	sensors := []geom.Point{geom.Pt(50, 50)}
+	frac := est.Fraction(sensors)
+	fmt.Printf("one central sensor with r=60 covers most of the field: %v\n", frac > 0.8)
+
+	fmt.Printf("empty field covers nothing: %v\n", est.Fraction(nil) == 0)
+	// Output:
+	// one central sensor with r=60 covers most of the field: true
+	// empty field covers nothing: true
+}
+
+// The Poisson model predicts the covered fraction of a random deployment.
+func ExampleExpectedFraction() {
+	// 200 sensors with 20 m sensing radius over 400 m × 400 m.
+	f := coverage.ExpectedFraction(200, 20, 400*400)
+	fmt.Printf("%.2f\n", f)
+	// Output:
+	// 0.79
+}

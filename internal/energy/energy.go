@@ -1,0 +1,88 @@
+// Package energy models the maintenance robots' energy consumption,
+// following the measurements of the authors' own Pioneer 3DX case study
+// (Mei et al., "A Case Study of Mobile Robot's Energy Consumption and
+// Conservation Techniques", ICAR 2005 — reference [9] of the paper).
+//
+// That study reports that a Pioneer 3DX draws a roughly constant base
+// power for its embedded computer and sonar, plus motion power that grows
+// about linearly with speed in the robot's 0.2–1.2 m/s operating band.
+// The paper's motion-overhead metric (Figure 2) is travel distance; this
+// package converts distance and mission time into Joules so the
+// energyaware example can report battery-level budgets.
+package energy
+
+// Model is a linear robot power model.
+type Model struct {
+	// IdlePowerW is the power drawn while stationary (embedded computer,
+	// sonar, microcontroller), in watts.
+	IdlePowerW float64
+	// MotionBaseW is the extra constant power while moving, in watts.
+	MotionBaseW float64
+	// MotionPerSpeedW is the speed-proportional motion power, in watts
+	// per (m/s).
+	MotionPerSpeedW float64
+}
+
+// Pioneer3DX returns model constants fitted to the ICAR 2005 measurements
+// (≈13 W hotel load; motion power ≈ 7.4 W + 11.2 W·v).
+func Pioneer3DX() Model {
+	return Model{
+		IdlePowerW:      13.0,
+		MotionBaseW:     7.4,
+		MotionPerSpeedW: 11.2,
+	}
+}
+
+// MotionPowerW returns the instantaneous power while moving at speed v
+// (m/s), including the hotel load.
+func (m Model) MotionPowerW(v float64) float64 {
+	if v <= 0 {
+		return m.IdlePowerW
+	}
+	return m.IdlePowerW + m.MotionBaseW + m.MotionPerSpeedW*v
+}
+
+// MotionEnergyJ returns the energy to travel dist meters at speed v,
+// including the hotel load during the traverse.
+func (m Model) MotionEnergyJ(dist, v float64) float64 {
+	if dist <= 0 || v <= 0 {
+		return 0
+	}
+	return m.MotionPowerW(v) * (dist / v)
+}
+
+// IdleEnergyJ returns the energy drawn while stationary for t seconds.
+func (m Model) IdleEnergyJ(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return m.IdlePowerW * t
+}
+
+// MissionEnergyJ returns the total energy for a mission of the given
+// duration in which the robot traveled dist meters at speed v and was
+// otherwise idle.
+func (m Model) MissionEnergyJ(dist, v, duration float64) float64 {
+	if v <= 0 {
+		return m.IdleEnergyJ(duration)
+	}
+	travelTime := dist / v
+	if travelTime > duration {
+		travelTime = duration
+	}
+	return m.MotionEnergyJ(travelTime*v, v) + m.IdleEnergyJ(duration-travelTime)
+}
+
+// BatteryLifeS returns how long a battery of capacityJ joules lasts for a
+// workload that travels dist meters at speed v per missionS seconds of
+// mission time (steady-state duty cycle).
+func (m Model) BatteryLifeS(capacityJ, dist, v, missionS float64) float64 {
+	if missionS <= 0 {
+		return 0
+	}
+	perMission := m.MissionEnergyJ(dist, v, missionS)
+	if perMission <= 0 {
+		return 0
+	}
+	return capacityJ / perMission * missionS
+}

@@ -1,0 +1,162 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPioneer3DXConstants(t *testing.T) {
+	m := Pioneer3DX()
+	if m.IdlePowerW <= 0 || m.MotionBaseW <= 0 || m.MotionPerSpeedW <= 0 {
+		t.Fatalf("non-positive constants: %+v", m)
+	}
+}
+
+func TestMotionPower(t *testing.T) {
+	m := Model{IdlePowerW: 10, MotionBaseW: 5, MotionPerSpeedW: 10}
+	if got := m.MotionPowerW(1); got != 25 {
+		t.Fatalf("P(1 m/s) = %v, want 25", got)
+	}
+	if got := m.MotionPowerW(0); got != 10 {
+		t.Fatalf("P(0) = %v, want idle power", got)
+	}
+	if got := m.MotionPowerW(-1); got != 10 {
+		t.Fatalf("P(-1) = %v, want idle power", got)
+	}
+}
+
+func TestMotionEnergy(t *testing.T) {
+	m := Model{IdlePowerW: 10, MotionBaseW: 5, MotionPerSpeedW: 10}
+	// 100 m at 1 m/s = 100 s at 25 W = 2500 J.
+	if got := m.MotionEnergyJ(100, 1); got != 2500 {
+		t.Fatalf("E = %v, want 2500", got)
+	}
+	if m.MotionEnergyJ(0, 1) != 0 || m.MotionEnergyJ(100, 0) != 0 {
+		t.Fatal("degenerate inputs should cost nothing")
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	m := Model{IdlePowerW: 13}
+	if got := m.IdleEnergyJ(100); got != 1300 {
+		t.Fatalf("idle = %v", got)
+	}
+	if m.IdleEnergyJ(-5) != 0 {
+		t.Fatal("negative time should cost nothing")
+	}
+}
+
+func TestMissionEnergy(t *testing.T) {
+	m := Model{IdlePowerW: 10, MotionBaseW: 5, MotionPerSpeedW: 10}
+	// 100 s mission, 50 m at 1 m/s: 50 s moving at 25 W + 50 s idle at 10 W.
+	want := 50*25.0 + 50*10.0
+	if got := m.MissionEnergyJ(50, 1, 100); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mission = %v, want %v", got, want)
+	}
+	// Travel time longer than mission clamps.
+	if got := m.MissionEnergyJ(1e6, 1, 100); math.Abs(got-100*25.0) > 1e-9 {
+		t.Fatalf("clamped mission = %v, want %v", got, 100*25.0)
+	}
+	// Zero speed: all idle.
+	if got := m.MissionEnergyJ(50, 0, 100); got != 1000 {
+		t.Fatalf("zero-speed mission = %v", got)
+	}
+}
+
+func TestBatteryLife(t *testing.T) {
+	m := Model{IdlePowerW: 10, MotionBaseW: 5, MotionPerSpeedW: 10}
+	// Pure idle: 10 W → 7.2 MJ lasts 720000 s.
+	if got := m.BatteryLifeS(7.2e6, 0, 1, 3600); math.Abs(got-720000) > 1e-6 {
+		t.Fatalf("idle battery life = %v", got)
+	}
+	if m.BatteryLifeS(1000, 0, 1, 0) != 0 {
+		t.Fatal("zero mission time should report 0")
+	}
+	// More travel per mission drains faster.
+	slow := m.BatteryLifeS(7.2e6, 100, 1, 3600)
+	fast := m.BatteryLifeS(7.2e6, 1000, 1, 3600)
+	if fast >= slow {
+		t.Fatalf("more travel should shorten life: %v vs %v", fast, slow)
+	}
+}
+
+// Property: mission energy is monotone in distance (all else equal).
+func TestPropertyMissionMonotoneInDistance(t *testing.T) {
+	m := Pioneer3DX()
+	prop := func(d1, d2 uint16) bool {
+		a, b := float64(d1), float64(d2)
+		if a > b {
+			a, b = b, a
+		}
+		return m.MissionEnergyJ(a, 1, 1e5) <= m.MissionEnergyJ(b, 1, 1e5)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy is never negative.
+func TestPropertyEnergyNonNegative(t *testing.T) {
+	m := Pioneer3DX()
+	prop := func(dist, speed, dur int16) bool {
+		return m.MissionEnergyJ(float64(dist), float64(speed), float64(dur)) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadioModelBasics(t *testing.T) {
+	m := RadioModel{TxJ: 2e-3, RxJ: 1e-3, IdleW: 20e-3}
+	if got := m.TxEnergyJ(1000); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("tx energy = %v", got)
+	}
+	if got := m.RxEnergyJ(1000, 10); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("rx energy = %v", got)
+	}
+	if got := m.MessagingEnergyJ(1000, 10); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("messaging energy = %v", got)
+	}
+	if m.RxEnergyJ(10, -5) != 0 {
+		t.Fatal("negative neighbors should clamp")
+	}
+}
+
+func TestRadioIdleEnergy(t *testing.T) {
+	m := TypicalMote()
+	if got := m.IdleEnergyJ(100, 1000); math.Abs(got-100*1000*m.IdleW) > 1e-9 {
+		t.Fatalf("idle energy = %v", got)
+	}
+	if m.IdleEnergyJ(-1, 10) != 0 || m.IdleEnergyJ(10, -1) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}
+
+func TestMessagingShare(t *testing.T) {
+	m := TypicalMote()
+	// No traffic: share 0. No sensors and no traffic: share 0, not NaN.
+	if m.MessagingShare(0, 10, 100, 1000) != 0 {
+		t.Fatal("no traffic should have zero share")
+	}
+	if m.MessagingShare(0, 0, 0, 0) != 0 {
+		t.Fatal("degenerate share should be 0")
+	}
+	// Share grows with traffic.
+	a := m.MessagingShare(1000, 10, 100, 1000)
+	b := m.MessagingShare(100000, 10, 100, 1000)
+	if !(a > 0 && b > a && b < 1) {
+		t.Fatalf("share not monotone: %v, %v", a, b)
+	}
+}
+
+func TestTypicalMoteOrdersOfMagnitude(t *testing.T) {
+	m := TypicalMote()
+	// Reception must cost less than transmission, both in the mJ range.
+	if m.RxJ >= m.TxJ {
+		t.Fatal("rx should cost less than tx")
+	}
+	if m.TxJ < 1e-4 || m.TxJ > 1e-1 {
+		t.Fatalf("tx energy %v outside mJ range", m.TxJ)
+	}
+}

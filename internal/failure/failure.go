@@ -1,0 +1,144 @@
+// Package failure models sensor mortality. The paper assumes node
+// lifetimes are exponentially distributed with mean T (16000 s in the
+// experiments); this package provides that model plus a Weibull
+// generalization and a correlated burst injector used by the disaster
+// example (hazardous environments kill clusters of nodes together).
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/rng"
+	"roborepair/internal/sim"
+)
+
+// LifetimeModel draws the time-to-failure of a freshly deployed node.
+type LifetimeModel interface {
+	// Lifetime returns a positive time-to-failure draw in seconds.
+	Lifetime() sim.Duration
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Exponential is the paper's memoryless lifetime model.
+type Exponential struct {
+	Mean float64
+	Rand *rng.Source
+}
+
+// Lifetime implements LifetimeModel.
+func (e *Exponential) Lifetime() sim.Duration {
+	return sim.Duration(e.Rand.Exponential(e.Mean))
+}
+
+// Name implements LifetimeModel.
+func (e *Exponential) Name() string { return fmt.Sprintf("exp(%g)", e.Mean) }
+
+var _ LifetimeModel = (*Exponential)(nil)
+
+// Weibull generalizes the exponential with a shape parameter: shape > 1
+// models wear-out, shape < 1 infant mortality, shape == 1 reduces to
+// Exponential. Extension beyond the paper for sensitivity studies.
+type Weibull struct {
+	Scale float64 // λ
+	Shape float64 // k
+	Rand  *rng.Source
+}
+
+// Lifetime implements LifetimeModel via inverse-CDF sampling.
+func (w *Weibull) Lifetime() sim.Duration {
+	u := w.Rand.Float64()
+	if u >= 1 {
+		u = 1 - 1e-12
+	}
+	// λ · (−ln(1−u))^{1/k}
+	x := w.Scale * math.Pow(-math.Log(1-u), 1/w.Shape)
+	if x <= 0 {
+		x = 1e-9
+	}
+	return sim.Duration(x)
+}
+
+// Name implements LifetimeModel.
+func (w *Weibull) Name() string { return fmt.Sprintf("weibull(%g,%g)", w.Scale, w.Shape) }
+
+var _ LifetimeModel = (*Weibull)(nil)
+
+// Burst kills every node within Radius of Center at time At. Used to model
+// the localized destruction (fire, flooding) the paper's introduction
+// motivates sensor replacement with.
+type Burst struct {
+	At     sim.Time
+	Center geom.Point
+	Radius float64
+}
+
+// Covers reports whether the burst kills a node at p.
+func (b Burst) Covers(p geom.Point) bool { return b.Center.Dist(p) <= b.Radius }
+
+// Injector schedules deaths. Failable is anything the injector can kill.
+type Failable interface {
+	// FailNow marks the node failed. Killing an already-failed node is a
+	// no-op.
+	FailNow()
+	// Alive reports whether the node is still operational.
+	Alive() bool
+	// Location returns the node's position (for burst targeting).
+	Location() geom.Point
+}
+
+// Injector owns all scheduled mortality in one run.
+type Injector struct {
+	sched  *sim.Scheduler
+	model  LifetimeModel
+	killed int
+
+	// OnKill, if set, observes every node the injector kills (used by the
+	// trace log).
+	OnKill func(n Failable)
+}
+
+// NewInjector returns an injector drawing lifetimes from model.
+func NewInjector(sched *sim.Scheduler, model LifetimeModel) *Injector {
+	return &Injector{sched: sched, model: model}
+}
+
+func (in *Injector) kill(n Failable) {
+	n.FailNow()
+	in.killed++
+	if in.OnKill != nil {
+		in.OnKill(n)
+	}
+}
+
+// Arm schedules the natural death of a freshly deployed node and returns
+// its scheduled failure time.
+func (in *Injector) Arm(n Failable) sim.Time {
+	at := in.sched.Now().Add(in.model.Lifetime())
+	in.sched.After(at.Sub(in.sched.Now()), func() {
+		if n.Alive() {
+			in.kill(n)
+		}
+	})
+	return at
+}
+
+// ScheduleBurst arms a correlated burst against the given population.
+// Nodes spawned after this call are unaffected.
+func (in *Injector) ScheduleBurst(b Burst, population []Failable) {
+	in.sched.After(b.At.Sub(in.sched.Now()), func() {
+		for _, n := range population {
+			if n.Alive() && b.Covers(n.Location()) {
+				in.kill(n)
+			}
+		}
+	})
+}
+
+// Killed reports how many nodes the injector has killed so far.
+func (in *Injector) Killed() int { return in.killed }
+
+// Model exposes the lifetime model in use.
+func (in *Injector) Model() LifetimeModel { return in.model }

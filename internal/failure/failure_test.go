@@ -1,0 +1,154 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/rng"
+	"roborepair/internal/sim"
+)
+
+type fakeNode struct {
+	alive bool
+	loc   geom.Point
+}
+
+func (n *fakeNode) FailNow()             { n.alive = false }
+func (n *fakeNode) Alive() bool          { return n.alive }
+func (n *fakeNode) Location() geom.Point { return n.loc }
+
+var _ Failable = (*fakeNode)(nil)
+
+func TestExponentialLifetimeMean(t *testing.T) {
+	m := &Exponential{Mean: 16000, Rand: rng.New(1)}
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(m.Lifetime())
+	}
+	got := sum / n
+	if math.Abs(got-16000)/16000 > 0.03 {
+		t.Fatalf("mean lifetime %v, want ≈16000", got)
+	}
+	if m.Name() != "exp(16000)" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestWeibullShapeOneMatchesExponentialMean(t *testing.T) {
+	w := &Weibull{Scale: 100, Shape: 1, Rand: rng.New(2)}
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(w.Lifetime())
+	}
+	got := sum / n
+	if math.Abs(got-100)/100 > 0.03 {
+		t.Fatalf("weibull(100,1) mean %v, want ≈100", got)
+	}
+}
+
+func TestWeibullMeanMatchesGamma(t *testing.T) {
+	// Mean of Weibull(λ,k) is λ·Γ(1+1/k).
+	w := &Weibull{Scale: 100, Shape: 2, Rand: rng.New(3)}
+	want := 100 * math.Gamma(1.5)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(w.Lifetime())
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("weibull(100,2) mean %v, want ≈%v", got, want)
+	}
+	if w.Name() != "weibull(100,2)" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+}
+
+func TestWeibullAlwaysPositive(t *testing.T) {
+	w := &Weibull{Scale: 10, Shape: 0.5, Rand: rng.New(4)}
+	for i := 0; i < 10000; i++ {
+		if v := w.Lifetime(); v <= 0 || math.IsInf(float64(v), 0) {
+			t.Fatalf("invalid lifetime %v", v)
+		}
+	}
+}
+
+func TestInjectorArmKillsAtScheduledTime(t *testing.T) {
+	sched := sim.NewScheduler()
+	in := NewInjector(sched, &Exponential{Mean: 100, Rand: rng.New(5)})
+	n := &fakeNode{alive: true}
+	at := in.Arm(n)
+	if at <= 0 {
+		t.Fatalf("failure scheduled at %v", at)
+	}
+	sched.Run(at - 0.001)
+	if !n.Alive() {
+		t.Fatal("node died early")
+	}
+	sched.Run(at)
+	if n.Alive() {
+		t.Fatal("node did not die at its scheduled time")
+	}
+	if in.Killed() != 1 {
+		t.Fatalf("Killed = %d", in.Killed())
+	}
+}
+
+func TestInjectorDoesNotDoubleKill(t *testing.T) {
+	sched := sim.NewScheduler()
+	in := NewInjector(sched, &Exponential{Mean: 100, Rand: rng.New(6)})
+	n := &fakeNode{alive: true}
+	in.Arm(n)
+	n.FailNow() // dies of another cause first
+	sched.RunAll()
+	if in.Killed() != 0 {
+		t.Fatalf("injector killed an already-dead node: %d", in.Killed())
+	}
+}
+
+func TestBurstCoverage(t *testing.T) {
+	b := Burst{At: 10, Center: geom.Pt(50, 50), Radius: 20}
+	if !b.Covers(geom.Pt(50, 50)) || !b.Covers(geom.Pt(65, 50)) {
+		t.Fatal("burst should cover points within radius")
+	}
+	if b.Covers(geom.Pt(80, 50)) {
+		t.Fatal("burst covered point outside radius")
+	}
+}
+
+func TestScheduleBurstKillsOnlyCoveredAlive(t *testing.T) {
+	sched := sim.NewScheduler()
+	in := NewInjector(sched, &Exponential{Mean: 1e12, Rand: rng.New(7)})
+	inside := &fakeNode{alive: true, loc: geom.Pt(10, 10)}
+	outside := &fakeNode{alive: true, loc: geom.Pt(500, 500)}
+	alreadyDead := &fakeNode{alive: false, loc: geom.Pt(12, 12)}
+	in.ScheduleBurst(
+		Burst{At: 100, Center: geom.Pt(10, 10), Radius: 30},
+		[]Failable{inside, outside, alreadyDead},
+	)
+	sched.Run(99)
+	if !inside.Alive() {
+		t.Fatal("burst fired early")
+	}
+	sched.Run(100)
+	if inside.Alive() {
+		t.Fatal("covered node survived the burst")
+	}
+	if !outside.Alive() {
+		t.Fatal("uncovered node died")
+	}
+	if in.Killed() != 1 {
+		t.Fatalf("Killed = %d, want 1 (dead nodes don't recount)", in.Killed())
+	}
+}
+
+func TestInjectorModelAccessor(t *testing.T) {
+	m := &Exponential{Mean: 5, Rand: rng.New(8)}
+	in := NewInjector(sim.NewScheduler(), m)
+	if in.Model() != m {
+		t.Fatal("Model() did not return the configured model")
+	}
+}

@@ -1,0 +1,366 @@
+// Package figures regenerates the paper's evaluation artifacts: Figure 2
+// (robot traveling distance per failure), Figure 3 (message hops per
+// failure), Figure 4 (location-update transmissions per failure), and the
+// two ablations the text claims results for (square-vs-hexagon partition,
+// efficient broadcast). One Grid of simulation runs feeds every figure, so
+// the three figures are mutually consistent the way the paper's are.
+package figures
+
+import (
+	"fmt"
+
+	"roborepair/internal/core"
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+	"roborepair/internal/report"
+	"roborepair/internal/scenario"
+)
+
+// PaperRobotCounts are the maintenance-robot counts of the paper's
+// experiments ("we run experiments with 4, 9, and 16 robots").
+var PaperRobotCounts = []int{4, 9, 16}
+
+// AllAlgorithms lists the three coordination algorithms in figure order.
+var AllAlgorithms = []core.Algorithm{core.Fixed, core.Dynamic, core.Centralized}
+
+// Cell aggregates repeated runs of one (algorithm, robots) configuration.
+type Cell struct {
+	Algorithm core.Algorithm
+	Robots    int
+	Runs      []scenario.Results
+}
+
+// mean applies f to every run and averages.
+func (c *Cell) mean(f func(scenario.Results) float64) float64 {
+	if len(c.Runs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range c.Runs {
+		sum += f(r)
+	}
+	return sum / float64(len(c.Runs))
+}
+
+// Travel is the Figure 2 quantity: mean robot traveling distance per
+// failure, in meters.
+func (c *Cell) Travel() float64 {
+	return c.mean(func(r scenario.Results) float64 { return r.AvgTravelPerFailure })
+}
+
+// TravelCI95 is the 95% confidence half-width of Travel across seeds
+// (0 with fewer than two runs).
+func (c *Cell) TravelCI95() float64 {
+	var acc metrics.Accumulator
+	for _, r := range c.Runs {
+		acc.Add(r.AvgTravelPerFailure)
+	}
+	return acc.CI95()
+}
+
+// ReportHops is the Figure 3 failure-report quantity.
+func (c *Cell) ReportHops() float64 {
+	return c.mean(func(r scenario.Results) float64 { return r.AvgReportHops })
+}
+
+// RequestHops is the Figure 3 repair-request quantity (centralized only).
+func (c *Cell) RequestHops() float64 {
+	return c.mean(func(r scenario.Results) float64 { return r.AvgRequestHops })
+}
+
+// UpdateTx is the Figure 4 quantity: location-update transmissions per
+// failure handled.
+func (c *Cell) UpdateTx() float64 {
+	return c.mean(func(r scenario.Results) float64 { return r.LocUpdateTxPerFailure })
+}
+
+// Repairs is the mean repair count per run.
+func (c *Cell) Repairs() float64 {
+	return c.mean(func(r scenario.Results) float64 { return float64(r.Repairs) })
+}
+
+// Grid is a matrix of experiment cells keyed by (algorithm, robots).
+type Grid struct {
+	Base   scenario.Config
+	Robots []int
+	Algs   []core.Algorithm
+	cells  map[string]*Cell
+}
+
+func key(a core.Algorithm, robots int) string {
+	return fmt.Sprintf("%s/%d", a, robots)
+}
+
+// Cell returns the cell for (a, robots), or nil when absent.
+func (g *Grid) Cell(a core.Algorithm, robots int) *Cell { return g.cells[key(a, robots)] }
+
+// RunGrid executes every (algorithm × robots × seed) combination. progress,
+// when non-nil, receives one line per completed run.
+func RunGrid(base scenario.Config, algs []core.Algorithm, robots []int, seeds []int64, progress func(string)) (*Grid, error) {
+	g := &Grid{Base: base, Robots: robots, Algs: algs, cells: make(map[string]*Cell)}
+	for _, alg := range algs {
+		for _, n := range robots {
+			cell := &Cell{Algorithm: alg, Robots: n}
+			for _, seed := range seeds {
+				cfg := base
+				cfg.Algorithm = alg
+				cfg.Robots = n
+				cfg.Seed = seed
+				res, err := scenario.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("run %s/%d seed %d: %w", alg, n, seed, err)
+				}
+				cell.Runs = append(cell.Runs, res)
+				if progress != nil {
+					progress(res.Summary())
+				}
+			}
+			g.cells[key(alg, n)] = cell
+		}
+	}
+	return g, nil
+}
+
+// Fig2Table renders Figure 2: average robot traveling distance per failure
+// as a function of the number of robots.
+func (g *Grid) Fig2Table() *report.Table {
+	t := report.NewTable(
+		"Figure 2 — average robot traveling distance per failure (m)",
+		"robots", "fixed", "dynamic", "centralized", "dynamic_saving_vs_fixed_%")
+	fmtCell := func(c *Cell) string {
+		if c == nil {
+			return ""
+		}
+		if ci := c.TravelCI95(); ci > 0 {
+			return report.F1(c.Travel()) + "±" + report.F1(ci)
+		}
+		return report.F1(c.Travel())
+	}
+	for _, n := range g.Robots {
+		fx := g.Cell(core.Fixed, n)
+		dy := g.Cell(core.Dynamic, n)
+		ce := g.Cell(core.Centralized, n)
+		row := []string{report.I(n), fmtCell(fx), fmtCell(dy), fmtCell(ce), ""}
+		if fx != nil && dy != nil && fx.Travel() > 0 {
+			row[4] = report.F1((fx.Travel() - dy.Travel()) / fx.Travel() * 100)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig3Table renders Figure 3: average message-passing hops per failure.
+func (g *Grid) Fig3Table() *report.Table {
+	t := report.NewTable(
+		"Figure 3 — average message passing hops per failure",
+		"robots", "centralized_report", "centralized_request", "dynamic_report", "fixed_report")
+	for _, n := range g.Robots {
+		row := []string{report.I(n), "", "", "", ""}
+		if ce := g.Cell(core.Centralized, n); ce != nil {
+			row[1] = report.F(ce.ReportHops())
+			row[2] = report.F(ce.RequestHops())
+		}
+		if dy := g.Cell(core.Dynamic, n); dy != nil {
+			row[3] = report.F(dy.ReportHops())
+		}
+		if fx := g.Cell(core.Fixed, n); fx != nil {
+			row[4] = report.F(fx.ReportHops())
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig4Table renders Figure 4: average number of transmissions for location
+// update per failure.
+func (g *Grid) Fig4Table() *report.Table {
+	t := report.NewTable(
+		"Figure 4 — average transmissions for location update per failure",
+		"robots", "dynamic", "fixed", "centralized")
+	for _, n := range g.Robots {
+		row := []string{report.I(n), "", "", ""}
+		if dy := g.Cell(core.Dynamic, n); dy != nil {
+			row[1] = report.F1(dy.UpdateTx())
+		}
+		if fx := g.Cell(core.Fixed, n); fx != nil {
+			row[2] = report.F1(fx.UpdateTx())
+		}
+		if ce := g.Cell(core.Centralized, n); ce != nil {
+			row[3] = report.F1(ce.UpdateTx())
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// SummaryTable renders the full pipeline counts of every cell.
+func (g *Grid) SummaryTable() *report.Table {
+	t := report.NewTable(
+		"Run summary",
+		"algorithm", "robots", "failures", "reports", "repairs",
+		"travel_m", "report_hops", "request_hops", "update_tx")
+	for _, alg := range g.Algs {
+		for _, n := range g.Robots {
+			c := g.Cell(alg, n)
+			if c == nil {
+				continue
+			}
+			t.AddRow(
+				alg.String(), report.I(n),
+				report.F1(c.mean(func(r scenario.Results) float64 { return float64(r.FailuresInjected) })),
+				report.F1(c.mean(func(r scenario.Results) float64 { return float64(r.ReportsDelivered) })),
+				report.F1(c.Repairs()),
+				report.F1(c.Travel()),
+				report.F(c.ReportHops()),
+				report.F(c.RequestHops()),
+				report.F1(c.UpdateTx()),
+			)
+		}
+	}
+	return t
+}
+
+// AblationHex compares square and hexagonal partitions for the fixed
+// algorithm (§4.3.1: "other partition methods (e.g., hexagon partition)
+// show negligible difference in the overheads").
+func AblationHex(base scenario.Config, robots []int, seeds []int64, progress func(string)) (*report.Table, error) {
+	t := report.NewTable(
+		"Ablation — fixed algorithm, square vs hexagonal partition",
+		"robots", "square_travel_m", "hex_travel_m", "square_update_tx", "hex_update_tx")
+	for _, n := range robots {
+		var cells [2]*Cell
+		for i, kind := range []geom.PartitionKind{geom.PartitionSquare, geom.PartitionHex} {
+			cell := &Cell{Algorithm: core.Fixed, Robots: n}
+			for _, seed := range seeds {
+				cfg := base
+				cfg.Algorithm = core.Fixed
+				cfg.Robots = n
+				cfg.Seed = seed
+				cfg.Partition = kind
+				res, err := scenario.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				cell.Runs = append(cell.Runs, res)
+				if progress != nil {
+					progress(fmt.Sprintf("%s partition: %s", kind, res.Summary()))
+				}
+			}
+			cells[i] = cell
+		}
+		t.AddRow(report.I(n),
+			report.F1(cells[0].Travel()), report.F1(cells[1].Travel()),
+			report.F1(cells[0].UpdateTx()), report.F1(cells[1].UpdateTx()))
+	}
+	return t, nil
+}
+
+// AblationBroadcast compares blind flooding against the §4.3.2 efficient
+// broadcast for both distributed algorithms.
+func AblationBroadcast(base scenario.Config, robots []int, seeds []int64, progress func(string)) (*report.Table, error) {
+	t := report.NewTable(
+		"Ablation — location-update flood: blind vs efficient broadcast (update tx / failure)",
+		"robots", "fixed_blind", "fixed_efficient", "dynamic_blind", "dynamic_efficient")
+	for _, n := range robots {
+		vals := make(map[string]float64, 4)
+		for _, alg := range []core.Algorithm{core.Fixed, core.Dynamic} {
+			for _, efficient := range []bool{false, true} {
+				cell := &Cell{Algorithm: alg, Robots: n}
+				for _, seed := range seeds {
+					cfg := base
+					cfg.Algorithm = alg
+					cfg.Robots = n
+					cfg.Seed = seed
+					cfg.EfficientBroadcast = efficient
+					res, err := scenario.Run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					cell.Runs = append(cell.Runs, res)
+					if progress != nil {
+						progress(fmt.Sprintf("efficient=%v: %s", efficient, res.Summary()))
+					}
+				}
+				vals[fmt.Sprintf("%s/%v", alg, efficient)] = cell.UpdateTx()
+			}
+		}
+		t.AddRow(report.I(n),
+			report.F1(vals["fixed/false"]), report.F1(vals["fixed/true"]),
+			report.F1(vals["dynamic/false"]), report.F1(vals["dynamic/true"]))
+	}
+	return t, nil
+}
+
+// CoverageComparison demonstrates the paper's premise — replacement
+// maintains sensing coverage — by comparing a maintained network against
+// one whose robots all break down at the start (so failures accumulate
+// unrepaired). Uses a 20 m sensing radius.
+func CoverageComparison(base scenario.Config, robots int, seeds []int64, progress func(string)) (*report.Table, error) {
+	t := report.NewTable(
+		"Coverage maintenance — robots vs unmaintained decay (sensing radius 20 m)",
+		"configuration", "mean_coverage", "min_coverage", "repairs")
+	type variant struct {
+		name string
+		mut  func(*scenario.Config)
+	}
+	variants := []variant{
+		{"maintained (dynamic)", func(c *scenario.Config) { c.Algorithm = core.Dynamic }},
+		{"maintained (centralized)", func(c *scenario.Config) { c.Algorithm = core.Centralized }},
+		{"unmaintained (robots broken)", func(c *scenario.Config) {
+			c.Algorithm = core.Dynamic
+			c.RobotFailures = c.Robots
+			c.RobotFailureTime = 0
+		}},
+	}
+	for _, v := range variants {
+		var mean, minv, repairs float64
+		for _, seed := range seeds {
+			cfg := base
+			cfg.Robots = robots
+			cfg.Seed = seed
+			cfg.SensingRange = 20
+			v.mut(&cfg)
+			res, err := scenario.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			mean += res.MeanCoverage
+			minv += res.MinCoverage
+			repairs += float64(res.Repairs)
+			if progress != nil {
+				progress(fmt.Sprintf("%s: coverage mean %.3f min %.3f", v.name, res.MeanCoverage, res.MinCoverage))
+			}
+		}
+		n := float64(len(seeds))
+		t.AddRow(v.name, report.F(mean/n), report.F(minv/n), report.F1(repairs/n))
+	}
+	return t, nil
+}
+
+// ThresholdSweep exposes the freshness/overhead trade-off of the 20 m
+// location-update threshold (§4.2) for one algorithm.
+func ThresholdSweep(base scenario.Config, alg core.Algorithm, robots int, thresholds []float64, seeds []int64) (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Sweep — location-update threshold (%s, %d robots)", alg, robots),
+		"threshold_m", "update_tx_per_failure", "report_delivery", "repairs")
+	for _, th := range thresholds {
+		cell := &Cell{Algorithm: alg, Robots: robots}
+		var delivery float64
+		for _, seed := range seeds {
+			cfg := base
+			cfg.Algorithm = alg
+			cfg.Robots = robots
+			cfg.Seed = seed
+			cfg.UpdateThreshold = th
+			res, err := scenario.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			cell.Runs = append(cell.Runs, res)
+			delivery += res.ReportDeliveryRatio()
+		}
+		delivery /= float64(len(seeds))
+		t.AddRow(report.F1(th), report.F1(cell.UpdateTx()), report.F(delivery), report.F1(cell.Repairs()))
+	}
+	return t, nil
+}

@@ -1,0 +1,182 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"roborepair/internal/core"
+	"roborepair/internal/scenario"
+)
+
+func tinyBase() scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.SimTime = 3000
+	return cfg
+}
+
+func tinyGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := RunGrid(tinyBase(), AllAlgorithms, []int{4}, []int64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunGridPopulatesCells(t *testing.T) {
+	g := tinyGrid(t)
+	for _, alg := range AllAlgorithms {
+		c := g.Cell(alg, 4)
+		if c == nil || len(c.Runs) != 1 {
+			t.Fatalf("cell %v missing or empty", alg)
+		}
+		if c.Travel() <= 0 {
+			t.Fatalf("cell %v has no travel", alg)
+		}
+	}
+	if g.Cell(core.Fixed, 99) != nil {
+		t.Fatal("absent cell should be nil")
+	}
+}
+
+func TestRunGridProgressCallback(t *testing.T) {
+	var lines []string
+	_, err := RunGrid(tinyBase(), []core.Algorithm{core.Dynamic}, []int{4}, []int64{1, 2},
+		func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("progress lines = %d, want 2", len(lines))
+	}
+}
+
+func TestFigureTablesRender(t *testing.T) {
+	g := tinyGrid(t)
+	f2 := g.Fig2Table().String()
+	if !strings.Contains(f2, "Figure 2") || !strings.Contains(f2, "4") {
+		t.Fatalf("Fig2 malformed:\n%s", f2)
+	}
+	f3 := g.Fig3Table().String()
+	if !strings.Contains(f3, "centralized_report") {
+		t.Fatalf("Fig3 malformed:\n%s", f3)
+	}
+	f4 := g.Fig4Table().String()
+	if !strings.Contains(f4, "Figure 4") {
+		t.Fatalf("Fig4 malformed:\n%s", f4)
+	}
+	sum := g.SummaryTable()
+	if sum.NumRows() != len(AllAlgorithms) {
+		t.Fatalf("summary rows = %d", sum.NumRows())
+	}
+}
+
+func TestFig2TableSavingsColumn(t *testing.T) {
+	g := tinyGrid(t)
+	tb := g.Fig2Table()
+	if tb.Cell(0, 4) == "" {
+		t.Fatal("dynamic-vs-fixed savings column empty")
+	}
+}
+
+func TestCellMeansAcrossSeeds(t *testing.T) {
+	g, err := RunGrid(tinyBase(), []core.Algorithm{core.Dynamic}, []int{4}, []int64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Cell(core.Dynamic, 4)
+	if len(c.Runs) != 2 {
+		t.Fatalf("runs = %d", len(c.Runs))
+	}
+	want := (c.Runs[0].AvgTravelPerFailure + c.Runs[1].AvgTravelPerFailure) / 2
+	if got := c.Travel(); got != want {
+		t.Fatalf("Travel = %v, want mean %v", got, want)
+	}
+	var empty Cell
+	if empty.Travel() != 0 {
+		t.Fatal("empty cell should average to 0")
+	}
+}
+
+func TestAblationHexRuns(t *testing.T) {
+	tb, err := AblationHex(tinyBase(), []int{4}, []int64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.Cell(0, 1) == "" || tb.Cell(0, 2) == "" {
+		t.Fatalf("hex ablation cells empty:\n%s", tb.String())
+	}
+}
+
+func TestAblationBroadcastReducesTransmissions(t *testing.T) {
+	tb, err := AblationBroadcast(tinyBase(), []int{4}, []int64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind := tb.Cell(0, 3)
+	efficient := tb.Cell(0, 4)
+	if blind == "" || efficient == "" {
+		t.Fatalf("broadcast ablation cells empty:\n%s", tb.String())
+	}
+	var bv, ev float64
+	if _, err := fmtSscan(blind, &bv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(efficient, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev >= bv {
+		t.Fatalf("efficient broadcast did not reduce dynamic update tx: %v ≥ %v", ev, bv)
+	}
+}
+
+func TestThresholdSweepMonotonicity(t *testing.T) {
+	tb, err := ThresholdSweep(tinyBase(), core.Dynamic, 4, []float64{10, 40}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tx10, tx40 float64
+	if _, err := fmtSscan(tb.Cell(0, 1), &tx10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tb.Cell(1, 1), &tx40); err != nil {
+		t.Fatal(err)
+	}
+	// Coarser updates mean fewer location-update transmissions.
+	if tx40 >= tx10 {
+		t.Fatalf("threshold 40 tx %v should be below threshold 10 tx %v", tx40, tx10)
+	}
+}
+
+// fmtSscan wraps fmt.Sscan for table cells.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func TestCoverageComparisonMaintainedBeatsDecay(t *testing.T) {
+	base := tinyBase()
+	base.SimTime = 12000 // ~¾ of a mean lifetime of decay
+	tb, err := CoverageComparison(base, 4, []int64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maintainedMin, unmaintainedMin float64
+	if _, err := fmtSscan(tb.Cell(0, 2), &maintainedMin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tb.Cell(2, 2), &unmaintainedMin); err != nil {
+		t.Fatal(err)
+	}
+	if maintainedMin <= unmaintainedMin {
+		t.Fatalf("maintenance did not preserve coverage: %v vs %v",
+			maintainedMin, unmaintainedMin)
+	}
+	// The unmaintained network visibly decays over ~45% of positions
+	// failing in ¾ lifetime.
+	if unmaintainedMin > maintainedMin-0.05 {
+		t.Fatalf("decay too small to be meaningful: %v vs %v",
+			unmaintainedMin, maintainedMin)
+	}
+}

@@ -1,0 +1,90 @@
+package figures
+
+import (
+	"testing"
+
+	"roborepair/internal/core"
+	"roborepair/internal/scenario"
+)
+
+// TestPaperShapes is the reproduction's acceptance test: it runs a
+// reduced-horizon grid and asserts the qualitative claims of the paper's
+// three figures. Skipped under -short (it simulates nine full scenarios).
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario shape test")
+	}
+	base := scenario.DefaultConfig()
+	base.SimTime = 16000
+	grid, err := RunGrid(base, AllAlgorithms, []int{4, 16}, []int64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, robots := range []int{4, 16} {
+		fx := grid.Cell(core.Fixed, robots)
+		dy := grid.Cell(core.Dynamic, robots)
+		ce := grid.Cell(core.Centralized, robots)
+
+		// Figure 2 shape: the fixed algorithm has the highest motion
+		// overhead ("the two algorithms have lower motion overhead than
+		// the fixed algorithm").
+		if fx.Travel() <= dy.Travel() {
+			t.Errorf("robots=%d: fixed travel %.1f should exceed dynamic %.1f",
+				robots, fx.Travel(), dy.Travel())
+		}
+		if fx.Travel() <= ce.Travel()*0.98 {
+			t.Errorf("robots=%d: fixed travel %.1f should not be clearly below centralized %.1f",
+				robots, fx.Travel(), ce.Travel())
+		}
+
+		// Figure 3 shape: distributed reports ≈ 2 hops; centralized
+		// reports need more hops than the distributed ones, and more
+		// hops than its own repair requests.
+		if dy.ReportHops() < 1.2 || dy.ReportHops() > 3.5 {
+			t.Errorf("robots=%d: dynamic report hops %.2f not ≈2", robots, dy.ReportHops())
+		}
+		if ce.ReportHops() <= dy.ReportHops() {
+			t.Errorf("robots=%d: centralized report hops %.2f should exceed dynamic %.2f",
+				robots, ce.ReportHops(), dy.ReportHops())
+		}
+		if ce.ReportHops() <= ce.RequestHops() {
+			t.Errorf("robots=%d: report hops %.2f should exceed request hops %.2f",
+				robots, ce.ReportHops(), ce.RequestHops())
+		}
+
+		// Figure 4 shape: distributed update traffic dwarfs centralized;
+		// dynamic is at least fixed's level.
+		if dy.UpdateTx() < 5*ce.UpdateTx() {
+			t.Errorf("robots=%d: dynamic update tx %.1f not ≫ centralized %.1f",
+				robots, dy.UpdateTx(), ce.UpdateTx())
+		}
+		if fx.UpdateTx() < 5*ce.UpdateTx() {
+			t.Errorf("robots=%d: fixed update tx %.1f not ≫ centralized %.1f",
+				robots, fx.UpdateTx(), ce.UpdateTx())
+		}
+		if dy.UpdateTx() < fx.UpdateTx()*0.95 {
+			t.Errorf("robots=%d: dynamic update tx %.1f should be ≥ fixed %.1f",
+				robots, dy.UpdateTx(), fx.UpdateTx())
+		}
+	}
+
+	// Scalability shape: centralized hops grow with the field; the
+	// distributed ones stay flat.
+	ce4 := grid.Cell(core.Centralized, 4)
+	ce16 := grid.Cell(core.Centralized, 16)
+	if ce16.ReportHops() <= ce4.ReportHops() {
+		t.Errorf("centralized report hops should grow: %.2f (4) vs %.2f (16)",
+			ce4.ReportHops(), ce16.ReportHops())
+	}
+	if ce16.RequestHops() <= ce4.RequestHops() {
+		t.Errorf("centralized request hops should grow: %.2f (4) vs %.2f (16)",
+			ce4.RequestHops(), ce16.RequestHops())
+	}
+	dy4 := grid.Cell(core.Dynamic, 4)
+	dy16 := grid.Cell(core.Dynamic, 16)
+	if diff := dy16.ReportHops() - dy4.ReportHops(); diff > 0.7 || diff < -0.7 {
+		t.Errorf("dynamic report hops should stay flat: %.2f (4) vs %.2f (16)",
+			dy4.ReportHops(), dy16.ReportHops())
+	}
+}

@@ -1,0 +1,50 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of the points in counter-clockwise
+// order (Andrew's monotone chain). Collinear boundary points are dropped.
+// Inputs of fewer than three distinct points return the distinct points.
+func ConvexHull(points []Point) Polygon {
+	if len(points) == 0 {
+		return nil
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		return Polygon(ps)
+	}
+
+	hull := make(Polygon, 0, 2*len(ps))
+	// Lower hull.
+	for _, p := range ps {
+		for len(hull) >= 2 && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(ps) - 2; i >= 0; i-- {
+		p := ps[i]
+		for len(hull) >= lower && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}

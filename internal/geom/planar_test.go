@@ -1,0 +1,188 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGabrielEdgeBasic(t *testing.T) {
+	u, v := Pt(0, 0), Pt(10, 0)
+	if !GabrielEdge(u, v, nil) {
+		t.Error("edge with no witnesses must be Gabriel")
+	}
+	// Witness at the midpoint kills the edge.
+	if GabrielEdge(u, v, []Point{Pt(5, 0.1)}) {
+		t.Error("witness inside diameter circle should kill the edge")
+	}
+	// Witness outside the circle does not.
+	if !GabrielEdge(u, v, []Point{Pt(5, 6)}) {
+		t.Error("witness outside circle should not kill the edge")
+	}
+	// Witness exactly on the circle boundary does not (closed circle test).
+	if !GabrielEdge(u, v, []Point{Pt(5, 5)}) {
+		t.Error("boundary witness should not kill the edge")
+	}
+}
+
+func TestGabrielEdgeIgnoresEndpoints(t *testing.T) {
+	u, v := Pt(0, 0), Pt(4, 0)
+	if !GabrielEdge(u, v, []Point{u, v}) {
+		t.Error("endpoints must not act as witnesses")
+	}
+}
+
+func TestRNGEdgeBasic(t *testing.T) {
+	u, v := Pt(0, 0), Pt(10, 0)
+	if !RNGEdge(u, v, nil) {
+		t.Error("edge with no witnesses must be in RNG")
+	}
+	// Witness in the lune (close to both) kills the edge.
+	if RNGEdge(u, v, []Point{Pt(5, 1)}) {
+		t.Error("lune witness should kill the edge")
+	}
+	// Witness far from one endpoint (outside the lune) does not.
+	if !RNGEdge(u, v, []Point{Pt(-3, 0)}) {
+		t.Error("witness outside the lune should not kill the edge")
+	}
+}
+
+func TestRNGSubsetOfGabriel(t *testing.T) {
+	// RNG ⊆ Gabriel: any edge in RNG must be in Gabriel.
+	r := rand.New(rand.NewSource(4))
+	pts := make([]Point, 40)
+	for i := range pts {
+		pts[i] = Pt(r.Float64()*100, r.Float64()*100)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if RNGEdge(pts[i], pts[j], pts) && !GabrielEdge(pts[i], pts[j], pts) {
+				t.Fatalf("edge %d-%d in RNG but not Gabriel", i, j)
+			}
+		}
+	}
+}
+
+// Property: the Gabriel graph restricted to any point set is planar — no
+// two Gabriel edges properly cross. (Classical result; checked empirically
+// on random sets, which is how the routing layer relies on it.)
+func TestPropertyGabrielPlanarity(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := make([]Point, 12)
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*50, r.Float64()*50)
+		}
+		type edge struct{ a, b int }
+		var edges []edge
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				if GabrielEdge(pts[i], pts[j], pts) {
+					edges = append(edges, edge{i, j})
+				}
+			}
+		}
+		for x := 0; x < len(edges); x++ {
+			for y := x + 1; y < len(edges); y++ {
+				e, f := edges[x], edges[y]
+				if e.a == f.a || e.a == f.b || e.b == f.a || e.b == f.b {
+					continue // sharing an endpoint is fine
+				}
+				if SegmentsIntersect(pts[e.a], pts[e.b], pts[f.a], pts[f.b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	tests := []struct {
+		name       string
+		a, b, c, d Point
+		want       bool
+	}{
+		{"cross", Pt(0, 0), Pt(2, 2), Pt(0, 2), Pt(2, 0), true},
+		{"parallel", Pt(0, 0), Pt(1, 0), Pt(0, 1), Pt(1, 1), false},
+		{"touch endpoint", Pt(0, 0), Pt(1, 1), Pt(1, 1), Pt(2, 0), true},
+		{"collinear overlap", Pt(0, 0), Pt(2, 0), Pt(1, 0), Pt(3, 0), true},
+		{"collinear disjoint", Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0), false},
+		{"T-junction", Pt(0, 0), Pt(2, 0), Pt(1, -1), Pt(1, 1), true},
+		{"near miss", Pt(0, 0), Pt(2, 0), Pt(1, 0.01), Pt(1, 1), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SegmentsIntersect(tt.a, tt.b, tt.c, tt.d); got != tt.want {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentIntersection(t *testing.T) {
+	p, ok := SegmentIntersection(Pt(0, 0), Pt(2, 2), Pt(0, 2), Pt(2, 0))
+	if !ok || !p.Near(Pt(1, 1), 1e-9) {
+		t.Fatalf("intersection = %v, ok=%v", p, ok)
+	}
+	if _, ok := SegmentIntersection(Pt(0, 0), Pt(1, 0), Pt(0, 1), Pt(1, 1)); ok {
+		t.Fatal("parallel segments should not intersect")
+	}
+	if _, ok := SegmentIntersection(Pt(0, 0), Pt(1, 0), Pt(5, -1), Pt(5, 1)); ok {
+		t.Fatal("out-of-range intersection accepted")
+	}
+}
+
+func TestConvexHull(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4), Pt(2, 2), Pt(1, 3)}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices: %v", len(hull), hull)
+	}
+	if !almostEq(hull.Area(), 16) {
+		t.Fatalf("hull area = %v", hull.Area())
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Fatalf("hull of empty = %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1)}); len(h) != 1 {
+		t.Fatalf("hull of single point = %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}); len(h) != 1 {
+		t.Fatalf("hull of duplicates = %v", h)
+	}
+	h := ConvexHull([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2)})
+	if len(h) > 2 {
+		t.Fatalf("hull of collinear points = %v", h)
+	}
+}
+
+// Property: every input point lies inside or on the hull.
+func TestPropertyHullContainsAll(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := make([]Point, 25)
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*100, r.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			return true
+		}
+		for _, p := range pts {
+			if !hull.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

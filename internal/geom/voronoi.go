@@ -1,0 +1,65 @@
+package geom
+
+// Voronoi computation by half-plane clipping: the cell of site i inside a
+// bounding rectangle is the rectangle clipped against the bisector of
+// (i, j) for every other site j. This is O(n) per cell — more than fast
+// enough for the handful of robots the paper coordinates (≤ 16) and
+// robust, unlike a full Fortune sweep, against the degenerate co-circular
+// configurations random deployments produce.
+
+// VoronoiCell returns the Voronoi cell of sites[i] clipped to bounds.
+// The result is nil when the cell is empty (possible only for coincident
+// sites).
+func VoronoiCell(sites []Point, i int, bounds Rect) Polygon {
+	cell := bounds.Polygon()
+	for j, s := range sites {
+		if j == i || s.Eq(sites[i]) {
+			continue
+		}
+		cell = cell.Clip(Bisector(sites[i], s))
+		if cell == nil {
+			return nil
+		}
+	}
+	return cell
+}
+
+// VoronoiCells returns the bounded Voronoi cell of every site.
+func VoronoiCells(sites []Point, bounds Rect) []Polygon {
+	cells := make([]Polygon, len(sites))
+	for i := range sites {
+		cells[i] = VoronoiCell(sites, i, bounds)
+	}
+	return cells
+}
+
+// VoronoiOwner returns the index of the site whose cell contains p — the
+// nearest site. It is the ground truth the dynamic distributed algorithm
+// approximates with message passing.
+func VoronoiOwner(p Point, sites []Point) int { return Nearest(p, sites) }
+
+// CellChangeRegion returns the set of probe points (from probes) whose
+// nearest site changes when site moved moves from oldPos to newPos. This is
+// exactly the region whose sensors must learn about a robot's relocation in
+// the dynamic algorithm (the shaded area of the paper's Figure 1).
+func CellChangeRegion(probes []Point, sites []Point, moved int, oldPos, newPos Point) []int {
+	if moved < 0 || moved >= len(sites) {
+		return nil
+	}
+	before := make([]Point, len(sites))
+	copy(before, sites)
+	before[moved] = oldPos
+	after := make([]Point, len(sites))
+	copy(after, sites)
+	after[moved] = newPos
+
+	var changed []int
+	for i, p := range probes {
+		ob := Nearest(p, before) == moved
+		oa := Nearest(p, after) == moved
+		if ob != oa {
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bucket histogram with quantile estimation;
+// used for distributional views the mean hides (e.g. the p99 repair delay
+// under burst backlogs).
+type Histogram struct {
+	width    float64
+	counts   []uint64
+	overflow uint64
+	acc      Accumulator
+}
+
+// NewHistogram returns a histogram with `buckets` buckets of the given
+// width covering [0, width·buckets); larger samples land in overflow.
+func NewHistogram(width float64, buckets int) *Histogram {
+	if width <= 0 {
+		width = 1
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Histogram{width: width, counts: make([]uint64, buckets)}
+}
+
+// Add ingests one sample. Negative samples clamp to the first bucket.
+func (h *Histogram) Add(x float64) {
+	h.acc.Add(x)
+	if x < 0 {
+		x = 0
+	}
+	idx := int(x / h.width)
+	if idx >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[idx]++
+}
+
+// N reports the number of samples.
+func (h *Histogram) N() int { return h.acc.N() }
+
+// Mean reports the exact sample mean.
+func (h *Histogram) Mean() float64 { return h.acc.Mean() }
+
+// Max reports the exact maximum sample.
+func (h *Histogram) Max() float64 { return h.acc.Max() }
+
+// Overflow reports samples beyond the bucketed range.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the buckets, using
+// the bucket upper edge. Overflowed mass reports the observed maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := uint64(h.acc.N())
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.acc.Min()
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * h.width
+		}
+	}
+	return h.acc.Max()
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+		h.N(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// Sparkline renders the bucket occupancy as a compact bar string (for
+// CLI output); empty when no samples.
+func (h *Histogram) Sparkline() string {
+	if h.N() == 0 {
+		return ""
+	}
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	var max uint64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, c := range h.counts {
+		idx := int(float64(c) / float64(max) * float64(len(levels)-1))
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// Histogram returns (lazily creating) the named histogram in the
+// registry. Width/buckets apply only at creation.
+func (r *Registry) Histogram(name string, width float64, buckets int) *Histogram {
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(width, buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Hist returns the named histogram, or nil when absent.
+func (r *Registry) Hist(name string) *Histogram {
+	return r.hists[name]
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(10, 10)
+	if h.N() != 0 || h.Quantile(0.5) != 0 || h.Sparkline() != "" {
+		t.Fatal("empty histogram misbehaves")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1, 100)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i) - 0.5) // one sample per bucket
+	}
+	if got := h.Quantile(0.5); math.Abs(got-50) > 1 {
+		t.Fatalf("p50 = %v, want ≈50", got)
+	}
+	if got := h.Quantile(0.95); math.Abs(got-95) > 1 {
+		t.Fatalf("p95 = %v, want ≈95", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-100) > 1 {
+		t.Fatalf("p100 = %v, want ≈100", got)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Add(5)
+	h.Add(1e6)
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	// Quantiles beyond the bucketed mass report the true max.
+	if got := h.Quantile(0.99); got != 1e6 {
+		t.Fatalf("overflowed quantile = %v, want observed max", got)
+	}
+	if h.Max() != 1e6 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Add(-5)
+	if h.N() != 1 || h.Overflow() != 0 {
+		t.Fatal("negative sample mishandled")
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("quantile of clamped sample = %v, want first bucket edge", got)
+	}
+}
+
+func TestHistogramDegenerateParams(t *testing.T) {
+	h := NewHistogram(0, 0)
+	h.Add(0.5)
+	if h.N() != 1 {
+		t.Fatal("degenerate params broke Add")
+	}
+}
+
+func TestHistogramSparkline(t *testing.T) {
+	h := NewHistogram(1, 5)
+	for i := 0; i < 8; i++ {
+		h.Add(2.5)
+	}
+	h.Add(0.5)
+	s := []rune(h.Sparkline())
+	if len(s) != 5 {
+		t.Fatalf("sparkline length = %d", len(s))
+	}
+	if s[2] != '█' {
+		t.Fatalf("modal bucket glyph = %c", s[2])
+	}
+}
+
+func TestRegistryHistogramLazyCreation(t *testing.T) {
+	r := NewRegistry()
+	if r.Hist("x") != nil {
+		t.Fatal("absent histogram should be nil")
+	}
+	h := r.Histogram("x", 10, 20)
+	h.Add(15)
+	if r.Hist("x") != h {
+		t.Fatal("histogram not retained")
+	}
+	// Same name returns the same instance regardless of params.
+	if r.Histogram("x", 999, 1) != h {
+		t.Fatal("duplicate creation")
+	}
+}
+
+// Property: the bucket-estimated quantile is within one bucket width above
+// the true quantile for in-range data.
+func TestPropertyQuantileAccuracy(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(5, 52) // covers 0..260 ≥ max uint8
+		var xs []float64
+		for _, v := range raw {
+			x := float64(v)
+			xs = append(xs, x)
+			h.Add(x)
+		}
+		sortFloats(xs)
+		for _, q := range []float64{0.25, 0.5, 0.9} {
+			idx := int(math.Ceil(q*float64(len(xs)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			truth := xs[idx]
+			est := h.Quantile(q)
+			if est < truth-1e-9 || est > truth+5+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

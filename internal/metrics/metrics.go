@@ -1,0 +1,202 @@
+// Package metrics collects the two overhead families the paper evaluates:
+// transmission counts by traffic category (messaging overhead) and sample
+// accumulators for distances and hop counts (motion overhead, routing
+// stretch). A single Registry is threaded through the simulator so every
+// radio transmission and robot movement is accounted exactly once.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Traffic categories used across the simulator. Categories are open-ended
+// strings; these constants cover the paper's taxonomy (§4.3.2): initial
+// setup, failure detection beacons, failure reports, repair requests, and
+// robot location updates.
+const (
+	CatInit          = "init"
+	CatBeacon        = "beacon"
+	CatFailureReport = "failure_report"
+	CatRepairRequest = "repair_request"
+	CatLocUpdate     = "location_update"
+	CatReplacement   = "replacement"
+)
+
+// Sample series names recorded by the runner.
+const (
+	SeriesTravelPerFailure = "travel_per_failure_m"
+	SeriesReportHops       = "report_hops"
+	SeriesRequestHops      = "request_hops"
+	SeriesRepairDelay      = "repair_delay_s"
+	SeriesQueueLength      = "queue_length"
+	SeriesCoverage         = "coverage_fraction"
+)
+
+// Accumulator ingests a stream of float64 samples and exposes summary
+// statistics. The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	sum      float64
+	sumSq    float64
+	min, max float64
+}
+
+// Add ingests one sample.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	a.sum += x
+	a.sumSq += x * x
+}
+
+// N reports the number of samples.
+func (a *Accumulator) N() int { return a.n }
+
+// Sum reports the total of all samples.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Var reports the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := (a.sumSq - float64(a.n)*m*m) / float64(a.n-1)
+	if v < 0 {
+		return 0 // numerical floor
+	}
+	return v
+}
+
+// StdDev reports the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Var()) }
+
+// CI95 reports the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max reports the largest sample, or 0 with no samples.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// String summarizes the accumulator.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		a.n, a.Mean(), a.StdDev(), a.min, a.max)
+}
+
+// Registry aggregates transmission counters and sample series for one
+// simulation run. It is not safe for concurrent use (the simulation is
+// single-threaded).
+type Registry struct {
+	tx      map[string]uint64
+	samples map[string]*Accumulator
+	hists   map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		tx:      make(map[string]uint64),
+		samples: make(map[string]*Accumulator),
+	}
+}
+
+// CountTx records n wireless transmissions in the given category.
+func (r *Registry) CountTx(category string, n uint64) {
+	r.tx[category] += n
+}
+
+// Tx reports the number of transmissions recorded for a category.
+func (r *Registry) Tx(category string) uint64 { return r.tx[category] }
+
+// TotalTx reports transmissions across all categories.
+func (r *Registry) TotalTx() uint64 {
+	var total uint64
+	for _, v := range r.tx {
+		total += v
+	}
+	return total
+}
+
+// Categories lists the categories seen so far, sorted.
+func (r *Registry) Categories() []string {
+	out := make([]string, 0, len(r.tx))
+	for k := range r.tx {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Observe adds a sample to the named series, creating it on first use.
+func (r *Registry) Observe(series string, x float64) {
+	acc, ok := r.samples[series]
+	if !ok {
+		acc = &Accumulator{}
+		r.samples[series] = acc
+	}
+	acc.Add(x)
+}
+
+// Series returns the accumulator for a series. It always returns a usable
+// accumulator; for unknown series it is empty.
+func (r *Registry) Series(series string) *Accumulator {
+	if acc, ok := r.samples[series]; ok {
+		return acc
+	}
+	return &Accumulator{}
+}
+
+// SeriesNames lists all recorded series, sorted.
+func (r *Registry) SeriesNames() []string {
+	out := make([]string, 0, len(r.samples))
+	for k := range r.samples {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump renders every counter and series as an aligned text block, useful
+// for CLI output and debugging.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	b.WriteString("transmissions:\n")
+	for _, c := range r.Categories() {
+		fmt.Fprintf(&b, "  %-18s %d\n", c, r.tx[c])
+	}
+	b.WriteString("series:\n")
+	for _, s := range r.SeriesNames() {
+		fmt.Fprintf(&b, "  %-24s %s\n", s, r.samples[s])
+	}
+	return b.String()
+}

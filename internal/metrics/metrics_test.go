@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Var() != 0 || a.StdDev() != 0 || a.CI95() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(5)
+	if a.N() != 1 || a.Mean() != 5 || a.Min() != 5 || a.Max() != 5 {
+		t.Fatalf("single sample stats wrong: %v", a.String())
+	}
+	if a.Var() != 0 {
+		t.Fatal("variance of one sample should be 0")
+	}
+}
+
+func TestAccumulatorKnownStats(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	// Unbiased sample variance of this classic set is 32/7.
+	if math.Abs(a.Var()-32.0/7.0) > 1e-9 {
+		t.Fatalf("Var = %v, want %v", a.Var(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Sum() != 40 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+}
+
+func TestAccumulatorCI95ShrinksWithN(t *testing.T) {
+	var small, large Accumulator
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 3))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: small=%v large=%v", small.CI95(), large.CI95())
+	}
+}
+
+func TestRegistryTxCounting(t *testing.T) {
+	r := NewRegistry()
+	r.CountTx(CatBeacon, 3)
+	r.CountTx(CatBeacon, 2)
+	r.CountTx(CatLocUpdate, 7)
+	if r.Tx(CatBeacon) != 5 {
+		t.Fatalf("beacon tx = %d", r.Tx(CatBeacon))
+	}
+	if r.Tx(CatLocUpdate) != 7 {
+		t.Fatalf("update tx = %d", r.Tx(CatLocUpdate))
+	}
+	if r.Tx("unknown") != 0 {
+		t.Fatal("unknown category should be 0")
+	}
+	if r.TotalTx() != 12 {
+		t.Fatalf("total = %d", r.TotalTx())
+	}
+}
+
+func TestRegistryCategoriesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.CountTx("zebra", 1)
+	r.CountTx("alpha", 1)
+	r.CountTx("mid", 1)
+	got := r.Categories()
+	want := []string{"alpha", "mid", "zebra"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Categories = %v", got)
+		}
+	}
+}
+
+func TestRegistryObserveAndSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Observe(SeriesReportHops, 2)
+	r.Observe(SeriesReportHops, 4)
+	acc := r.Series(SeriesReportHops)
+	if acc.N() != 2 || acc.Mean() != 3 {
+		t.Fatalf("series stats wrong: %v", acc)
+	}
+	if r.Series("missing").N() != 0 {
+		t.Fatal("missing series should be empty, not nil")
+	}
+}
+
+func TestRegistrySeriesNames(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("b", 1)
+	r.Observe("a", 1)
+	names := r.SeriesNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("SeriesNames = %v", names)
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.CountTx(CatFailureReport, 4)
+	r.Observe(SeriesTravelPerFailure, 99.5)
+	out := r.Dump()
+	if !strings.Contains(out, CatFailureReport) || !strings.Contains(out, "99.5") {
+		t.Fatalf("Dump missing content:\n%s", out)
+	}
+}
+
+// Property: the streaming variance matches a two-pass computation.
+func TestPropertyVarianceMatchesTwoPass(t *testing.T) {
+	prop := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var a Accumulator
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			a.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		want := ss / float64(len(xs)-1)
+		return math.Abs(a.Var()-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min ≤ mean ≤ max for any non-empty sample set.
+func TestPropertyMinMeanMax(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var a Accumulator
+		for _, v := range raw {
+			a.Add(float64(v))
+		}
+		return a.Min() <= a.Mean()+1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package netstack
+
+import "roborepair/internal/radio"
+
+// Flooder implements the duplicate suppression of controlled flooding:
+// "a sensor may receive the same update message multiple times, but it
+// relays the message to its neighbors only once. This is achieved by
+// remembering the sequence number of the robot location updates it has
+// relayed before" (paper §3.2).
+//
+// Sequence numbers are monotone per origin, so remembering the highest
+// handled sequence per origin suffices and stays O(#robots) per sensor.
+type Flooder struct {
+	seen map[radio.NodeID]uint64
+}
+
+// NewFlooder returns an empty duplicate-suppression state.
+func NewFlooder() *Flooder {
+	return &Flooder{seen: make(map[radio.NodeID]uint64)}
+}
+
+// Fresh reports whether m is the first copy of its (origin, seq) instance
+// seen here, and marks it handled. Later copies — and stale instances with
+// lower sequence numbers — report false.
+func (f *Flooder) Fresh(m FloodMsg) bool {
+	last, ok := f.seen[m.Origin]
+	if ok && m.Seq <= last {
+		return false
+	}
+	f.seen[m.Origin] = m.Seq
+	return true
+}
+
+// LastSeq returns the highest sequence number handled for origin.
+func (f *Flooder) LastSeq(origin radio.NodeID) (uint64, bool) {
+	s, ok := f.seen[origin]
+	return s, ok
+}
+
+// Reset forgets all state (used when a replacement node boots with a fresh
+// flooder at the same address).
+func (f *Flooder) Reset() { f.seen = make(map[radio.NodeID]uint64) }

@@ -1,0 +1,79 @@
+// Package netstack implements the network layer the paper runs on top of
+// GloMoSim: geographic routing ("based on face-routing [2] and our
+// implementation parameters are the same as in GPSR [7]") plus the
+// controlled flooding the two distributed manager algorithms use for robot
+// location updates.
+//
+// Packets carry the destination's address and location, exactly like the
+// paper's IP-option header. Each hop is one wireless transmission counted
+// under the packet's Category, which is how the messaging-overhead figures
+// are produced.
+package netstack
+
+import (
+	"fmt"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/radio"
+)
+
+// RouteMode is the forwarding mode of a packet in flight.
+type RouteMode int
+
+const (
+	// ModeGreedy forwards to the neighbor geographically closest to the
+	// destination.
+	ModeGreedy RouteMode = iota + 1
+	// ModePerimeter walks faces of the local planar (Gabriel) subgraph by
+	// the right-hand rule to escape a routing hole.
+	ModePerimeter
+)
+
+// String names the mode.
+func (m RouteMode) String() string {
+	switch m {
+	case ModeGreedy:
+		return "greedy"
+	case ModePerimeter:
+		return "perimeter"
+	default:
+		return fmt.Sprintf("RouteMode(%d)", int(m))
+	}
+}
+
+// Packet is a network-layer datagram routed by geographic forwarding.
+type Packet struct {
+	Src      radio.NodeID
+	Dst      radio.NodeID
+	DstLoc   geom.Point // destination's last known location
+	Category string     // metrics category for each hop's transmission
+	Payload  any
+
+	Hops int // transmissions so far
+	TTL  int // remaining hops before the packet is dropped
+
+	Mode     RouteMode
+	EntryLoc geom.Point // position where perimeter mode was entered
+	PrevLoc  geom.Point // position of the previous perimeter hop
+
+	// Path records every node the packet visited when path recording is
+	// enabled at the originating Router (diagnostics; nil otherwise).
+	Path []radio.NodeID
+}
+
+// FloodMsg is an application message disseminated by controlled flooding.
+// (Origin, Seq) identifies the flood instance; every station relays a given
+// instance at most once.
+type FloodMsg struct {
+	Origin   radio.NodeID
+	Seq      uint64
+	Category string
+	Payload  any
+	Hops     int // hops from the origin at the time of reception
+	TTL      int // remaining relays permitted
+
+	// Relays, when non-nil, is the sender-designated forwarder set of the
+	// efficient broadcast scheme (§4.3.2 / broadcastopt): only listed
+	// receivers may relay. Nil designates every receiver (blind flooding).
+	Relays []radio.NodeID
+}

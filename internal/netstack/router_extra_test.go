@@ -1,0 +1,238 @@
+package netstack
+
+import (
+	"testing"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/radio"
+)
+
+func TestOriginateAppliesDefaults(t *testing.T) {
+	tn := newTestNet()
+	a := tn.add(1, geom.Pt(0, 0), 63)
+	b := tn.add(2, geom.Pt(40, 0), 63)
+	tn.fillTables()
+	a.router.Originate(Packet{Dst: 2, DstLoc: b.pos, Category: "t"})
+	got := b.delivered[0]
+	if got.Src != 1 {
+		t.Fatalf("Src = %v, want originator", got.Src)
+	}
+	if got.TTL != DefaultTTL-1 {
+		t.Fatalf("TTL = %d, want %d", got.TTL, DefaultTTL-1)
+	}
+	if got.Mode != ModeGreedy {
+		t.Fatalf("Mode = %v, want greedy", got.Mode)
+	}
+}
+
+func TestPerimeterReturnsToGreedy(t *testing.T) {
+	tn := newTestNet()
+	// Geometry: source 1 at origin; a wall gap forces one perimeter hop
+	// up to node 3, after which node 3 is closer to the destination than
+	// the perimeter entry, so the packet resumes greedy mode and arrives.
+	tn.add(1, geom.Pt(0, 0), 63)
+	tn.add(3, geom.Pt(30, 50), 63)
+	tn.add(4, geom.Pt(80, 60), 63)
+	tn.add(5, geom.Pt(130, 30), 63)
+	dst := tn.add(9, geom.Pt(160, 0), 63)
+	tn.fillTables()
+	tn.nodes[1].router.Originate(Packet{Dst: 9, DstLoc: dst.pos, Category: "t"})
+	if len(dst.delivered) != 1 {
+		t.Fatalf("not delivered; drops: %v", collectDrops(tn))
+	}
+	// Delivered in greedy mode (it recovered), not perimeter.
+	if dst.delivered[0].Mode != ModeGreedy {
+		t.Fatalf("arrived in mode %v, want greedy after recovery", dst.delivered[0].Mode)
+	}
+}
+
+func TestRouterZeroTTLOriginateGetsDefault(t *testing.T) {
+	tn := newTestNet()
+	a := tn.add(1, geom.Pt(0, 0), 63)
+	a.router.Originate(Packet{Dst: 1, Category: "t"})
+	if len(a.delivered) != 1 {
+		t.Fatal("self packet lost")
+	}
+}
+
+func TestReceiveForwardsWithoutReset(t *testing.T) {
+	// A relay must not reset TTL or hops of a packet in flight.
+	tn := newTestNet()
+	tn.add(1, geom.Pt(0, 0), 63)
+	mid := tn.add(2, geom.Pt(50, 0), 63)
+	dst := tn.add(3, geom.Pt(100, 0), 63)
+	tn.fillTables()
+	mid.router.Receive(Packet{
+		Src: 1, Dst: 3, DstLoc: dst.pos, Category: "t", Hops: 5, TTL: 10, Mode: ModeGreedy,
+	})
+	if len(dst.delivered) != 1 {
+		t.Fatal("relay did not deliver")
+	}
+	if dst.delivered[0].Hops != 6 {
+		t.Fatalf("hops = %d, want 6 (5 + relay)", dst.delivered[0].Hops)
+	}
+	if dst.delivered[0].TTL != 9 {
+		t.Fatalf("TTL = %d, want 9", dst.delivered[0].TTL)
+	}
+}
+
+func TestGreedyPrefersClosestNeighbor(t *testing.T) {
+	self := geom.Pt(0, 0)
+	dst := geom.Pt(100, 0)
+	neighbors := []Neighbor{
+		{ID: 1, Loc: geom.Pt(30, 0)},
+		{ID: 2, Loc: geom.Pt(55, 0)},
+		{ID: 3, Loc: geom.Pt(40, 20)},
+	}
+	next, ok := greedyNext(self, dst, neighbors)
+	if !ok || next.ID != 2 {
+		t.Fatalf("greedyNext = %v, want node 2", next)
+	}
+}
+
+func TestGreedyRejectsBackwardNeighbors(t *testing.T) {
+	self := geom.Pt(50, 0)
+	dst := geom.Pt(100, 0)
+	neighbors := []Neighbor{
+		{ID: 1, Loc: geom.Pt(0, 0)},  // farther from dst than self
+		{ID: 2, Loc: geom.Pt(45, 0)}, // also farther
+	}
+	if _, ok := greedyNext(self, dst, neighbors); ok {
+		t.Fatal("greedy picked a neighbor that makes no progress")
+	}
+}
+
+func TestPerimeterNextRightHandRule(t *testing.T) {
+	self := geom.Pt(0, 0)
+	prev := geom.Pt(100, 0) // reference direction: east
+	neighbors := []Neighbor{
+		{ID: 1, Loc: geom.Pt(0, 50)},  // north: 90° ccw from east
+		{ID: 2, Loc: geom.Pt(-50, 0)}, // west: 180°
+		{ID: 3, Loc: geom.Pt(0, -50)}, // south: 270°
+	}
+	next, ok := perimeterNext(self, prev, neighbors)
+	if !ok || next.ID != 1 {
+		t.Fatalf("perimeterNext = %v, want first ccw neighbor (north)", next)
+	}
+}
+
+func TestPerimeterNextAvoidsImmediateBounce(t *testing.T) {
+	self := geom.Pt(0, 0)
+	prev := geom.Pt(50, 0)
+	// Only neighbor is exactly back where the packet came from: the rule
+	// assigns it a full-turn penalty but still uses it as a last resort.
+	neighbors := []Neighbor{{ID: 1, Loc: geom.Pt(50, 0)}}
+	next, ok := perimeterNext(self, prev, neighbors)
+	if !ok || next.ID != 1 {
+		t.Fatalf("lone backtrack neighbor should still be used: %v %v", next, ok)
+	}
+	// With an alternative, the backtrack loses.
+	neighbors = append(neighbors, Neighbor{ID: 2, Loc: geom.Pt(0, 50)})
+	next, _ = perimeterNext(self, prev, neighbors)
+	if next.ID != 2 {
+		t.Fatalf("perimeter bounced straight back despite alternative: %v", next)
+	}
+}
+
+func TestPerimeterNextEmptyNeighbors(t *testing.T) {
+	if _, ok := perimeterNext(geom.Pt(0, 0), geom.Pt(1, 0), nil); ok {
+		t.Fatal("no neighbors should report !ok")
+	}
+}
+
+func TestDropReasonsSurfaceOnce(t *testing.T) {
+	tn := newTestNet()
+	a := tn.add(1, geom.Pt(0, 0), 63)
+	a.router.Originate(Packet{Dst: 99, DstLoc: geom.Pt(500, 500), Category: "t"})
+	if len(a.drops) != 1 {
+		t.Fatalf("drops = %v, want exactly one", a.drops)
+	}
+}
+
+func TestRouterCountsDropCategory(t *testing.T) {
+	tn := newTestNet()
+	a := tn.add(1, geom.Pt(0, 0), 63)
+	var dropped []DropReason
+	a.router.OnDrop = func(_ Packet, r DropReason) { dropped = append(dropped, r) }
+	a.router.Originate(Packet{Dst: 99, DstLoc: geom.Pt(500, 500), Category: "t", TTL: 1})
+	if len(dropped) != 1 || dropped[0] != DropStuck {
+		t.Fatalf("dropped = %v", dropped)
+	}
+}
+
+func TestMediumSourceSkipsInactive(t *testing.T) {
+	tn := newTestNet()
+	m := tn.add(1, geom.Pt(0, 0), 250)
+	dead := tn.add(2, geom.Pt(50, 0), 63)
+	dead.dead = true
+	src := MediumSource{
+		Medium: tn.medium,
+		Self:   1,
+		Pos:    func() geom.Point { return m.pos },
+		Range:  func() float64 { return m.rng },
+	}
+	if got := src.RoutingNeighbors(); len(got) != 0 {
+		t.Fatalf("inactive station offered as next hop: %v", got)
+	}
+}
+
+func TestBroadcastPacketIgnoredByNonAddressee(t *testing.T) {
+	// A unicast frame reaching its addressee is routed; a packet frame
+	// addressed elsewhere must not be processed by bystanders (the medium
+	// only delivers unicast frames to Dst, so this asserts medium
+	// behaviour end to end).
+	tn := newTestNet()
+	a := tn.add(1, geom.Pt(0, 0), 63)
+	b := tn.add(2, geom.Pt(30, 0), 63)
+	c := tn.add(3, geom.Pt(31, 0), 63)
+	tn.fillTables()
+	a.router.Originate(Packet{Dst: 2, DstLoc: b.pos, Category: "t"})
+	if len(c.delivered) != 0 {
+		t.Fatal("bystander processed another node's packet")
+	}
+	_ = radio.IDBroadcast
+}
+
+func TestPathRecording(t *testing.T) {
+	tn := newTestNet()
+	for i := 0; i < 5; i++ {
+		tn.add(radio.NodeID(i+1), geom.Pt(float64(i)*50, 0), 63)
+	}
+	tn.fillTables()
+	src, dst := tn.nodes[1], tn.nodes[5]
+	src.router.RecordPaths = true
+	src.router.Originate(Packet{Dst: 5, DstLoc: dst.pos, Category: "t"})
+	if len(dst.delivered) != 1 {
+		t.Fatal("not delivered")
+	}
+	path := dst.delivered[0].Path
+	want := []radio.NodeID{1, 2, 3, 4, 5}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// Greedy invariant: every recorded hop strictly reduces the distance
+	// to the destination.
+	for i := 1; i < len(path); i++ {
+		prev := tn.nodes[path[i-1]].pos.Dist(dst.pos)
+		cur := tn.nodes[path[i]].pos.Dist(dst.pos)
+		if cur >= prev {
+			t.Fatalf("hop %d did not make progress: %v", i, path)
+		}
+	}
+}
+
+func TestPathRecordingOffByDefault(t *testing.T) {
+	tn := newTestNet()
+	a := tn.add(1, geom.Pt(0, 0), 63)
+	b := tn.add(2, geom.Pt(40, 0), 63)
+	tn.fillTables()
+	a.router.Originate(Packet{Dst: 2, DstLoc: b.pos, Category: "t"})
+	if b.delivered[0].Path != nil {
+		t.Fatal("path recorded without opting in")
+	}
+}

@@ -1,0 +1,134 @@
+package netstack
+
+import (
+	"sort"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/radio"
+	"roborepair/internal/sim"
+)
+
+// Neighbor is one entry of a node's one-hop neighbor table, built from
+// received beacons and location broadcasts.
+type Neighbor struct {
+	ID        radio.NodeID
+	Loc       geom.Point
+	LastHeard sim.Time
+}
+
+// NeighborTable tracks a node's one-hop neighbors. The zero value is not
+// usable; create tables with NewNeighborTable.
+type NeighborTable struct {
+	entries map[radio.NodeID]Neighbor
+}
+
+// NewNeighborTable returns an empty table.
+func NewNeighborTable() *NeighborTable {
+	return &NeighborTable{entries: make(map[radio.NodeID]Neighbor)}
+}
+
+// Upsert records that id was heard at loc at time now.
+func (t *NeighborTable) Upsert(id radio.NodeID, loc geom.Point, now sim.Time) {
+	t.entries[id] = Neighbor{ID: id, Loc: loc, LastHeard: now}
+}
+
+// Remove deletes a neighbor (e.g. after its failure is detected).
+func (t *NeighborTable) Remove(id radio.NodeID) { delete(t.entries, id) }
+
+// Get returns the entry for id.
+func (t *NeighborTable) Get(id radio.NodeID) (Neighbor, bool) {
+	n, ok := t.entries[id]
+	return n, ok
+}
+
+// Len reports the number of entries.
+func (t *NeighborTable) Len() int { return len(t.entries) }
+
+// Touch refreshes LastHeard for an existing entry without changing its
+// location; it reports whether the entry existed.
+func (t *NeighborTable) Touch(id radio.NodeID, now sim.Time) bool {
+	n, ok := t.entries[id]
+	if !ok {
+		return false
+	}
+	n.LastHeard = now
+	t.entries[id] = n
+	return true
+}
+
+// Purge removes entries not heard since the deadline and returns the
+// removed IDs in ascending order.
+func (t *NeighborTable) Purge(deadline sim.Time) []radio.NodeID {
+	var removed []radio.NodeID
+	for id, n := range t.entries {
+		if n.LastHeard < deadline {
+			removed = append(removed, id)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+	for _, id := range removed {
+		delete(t.entries, id)
+	}
+	return removed
+}
+
+// All returns the entries in ascending ID order (deterministic iteration
+// for the simulator).
+func (t *NeighborTable) All() []Neighbor {
+	out := make([]Neighbor, 0, len(t.entries))
+	for _, n := range t.entries {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ClosestTo returns the neighbor geographically closest to target and
+// whether the table is non-empty.
+func (t *NeighborTable) ClosestTo(target geom.Point) (Neighbor, bool) {
+	best := Neighbor{}
+	bestD := -1.0
+	for _, n := range t.All() {
+		d := n.Loc.Dist2(target)
+		if bestD < 0 || d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best, bestD >= 0
+}
+
+// NearestNeighbor returns the neighbor closest to self, used for guardian
+// selection ("picks its nearest neighbor as its guardian"). except lists
+// IDs to skip (e.g. robots, which never act as guardians).
+func (t *NeighborTable) NearestNeighbor(self geom.Point, except map[radio.NodeID]bool) (Neighbor, bool) {
+	best := Neighbor{}
+	bestD := -1.0
+	for _, n := range t.All() {
+		if except[n.ID] {
+			continue
+		}
+		d := n.Loc.Dist2(self)
+		if bestD < 0 || d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best, bestD >= 0
+}
+
+// GabrielNeighbors returns the table entries that form Gabriel-graph edges
+// with self, witnessed by the full table — the planar subgraph face
+// routing walks.
+func (t *NeighborTable) GabrielNeighbors(self geom.Point) []Neighbor {
+	all := t.All()
+	witnesses := make([]geom.Point, len(all))
+	for i, n := range all {
+		witnesses[i] = n.Loc
+	}
+	var out []Neighbor
+	for _, n := range all {
+		if geom.GabrielEdge(self, n.Loc, witnesses) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package netstack
+
+import (
+	"testing"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/radio"
+)
+
+func TestTableUpsertGetRemove(t *testing.T) {
+	tb := NewNeighborTable()
+	tb.Upsert(1, geom.Pt(1, 2), 10)
+	n, ok := tb.Get(1)
+	if !ok || !n.Loc.Eq(geom.Pt(1, 2)) || n.LastHeard != 10 {
+		t.Fatalf("Get = %v, %v", n, ok)
+	}
+	tb.Upsert(1, geom.Pt(3, 4), 20)
+	n, _ = tb.Get(1)
+	if !n.Loc.Eq(geom.Pt(3, 4)) || n.LastHeard != 20 {
+		t.Fatalf("Upsert did not update: %v", n)
+	}
+	tb.Remove(1)
+	if _, ok := tb.Get(1); ok {
+		t.Fatal("Remove left entry")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableTouch(t *testing.T) {
+	tb := NewNeighborTable()
+	tb.Upsert(1, geom.Pt(1, 1), 5)
+	if !tb.Touch(1, 50) {
+		t.Fatal("Touch of existing entry reported false")
+	}
+	n, _ := tb.Get(1)
+	if n.LastHeard != 50 || !n.Loc.Eq(geom.Pt(1, 1)) {
+		t.Fatalf("Touch broke entry: %v", n)
+	}
+	if tb.Touch(99, 50) {
+		t.Fatal("Touch of missing entry reported true")
+	}
+}
+
+func TestTablePurge(t *testing.T) {
+	tb := NewNeighborTable()
+	tb.Upsert(3, geom.Pt(0, 0), 10)
+	tb.Upsert(1, geom.Pt(0, 0), 5)
+	tb.Upsert(2, geom.Pt(0, 0), 40)
+	removed := tb.Purge(30)
+	if len(removed) != 2 || removed[0] != 1 || removed[1] != 3 {
+		t.Fatalf("Purge removed %v, want [1 3] sorted", removed)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len after purge = %d", tb.Len())
+	}
+}
+
+func TestTableAllSorted(t *testing.T) {
+	tb := NewNeighborTable()
+	for _, id := range []radio.NodeID{5, 2, 9, 1} {
+		tb.Upsert(id, geom.Pt(float64(id), 0), 0)
+	}
+	all := tb.All()
+	for i := 1; i < len(all); i++ {
+		if all[i].ID < all[i-1].ID {
+			t.Fatalf("All not sorted: %v", all)
+		}
+	}
+}
+
+func TestTableClosestTo(t *testing.T) {
+	tb := NewNeighborTable()
+	if _, ok := tb.ClosestTo(geom.Pt(0, 0)); ok {
+		t.Fatal("empty table reported a closest neighbor")
+	}
+	tb.Upsert(1, geom.Pt(10, 0), 0)
+	tb.Upsert(2, geom.Pt(4, 0), 0)
+	tb.Upsert(3, geom.Pt(7, 0), 0)
+	n, ok := tb.ClosestTo(geom.Pt(0, 0))
+	if !ok || n.ID != 2 {
+		t.Fatalf("ClosestTo = %v", n)
+	}
+}
+
+func TestTableNearestNeighborWithExclusion(t *testing.T) {
+	tb := NewNeighborTable()
+	tb.Upsert(1, geom.Pt(1, 0), 0)
+	tb.Upsert(2, geom.Pt(2, 0), 0)
+	n, ok := tb.NearestNeighbor(geom.Pt(0, 0), map[radio.NodeID]bool{1: true})
+	if !ok || n.ID != 2 {
+		t.Fatalf("NearestNeighbor = %v, want 2", n)
+	}
+	if _, ok := tb.NearestNeighbor(geom.Pt(0, 0), map[radio.NodeID]bool{1: true, 2: true}); ok {
+		t.Fatal("all-excluded table reported a neighbor")
+	}
+}
+
+func TestTableGabrielNeighbors(t *testing.T) {
+	tb := NewNeighborTable()
+	self := geom.Pt(0, 0)
+	tb.Upsert(1, geom.Pt(10, 0), 0)
+	tb.Upsert(2, geom.Pt(20, 0), 0) // blocked by 1 (1 is inside circle self-2)
+	tb.Upsert(3, geom.Pt(0, 10), 0)
+	gn := tb.GabrielNeighbors(self)
+	ids := map[radio.NodeID]bool{}
+	for _, n := range gn {
+		ids[n.ID] = true
+	}
+	if !ids[1] || !ids[3] || ids[2] {
+		t.Fatalf("Gabriel neighbors = %v, want {1,3}", ids)
+	}
+}
+
+func TestFlooderDeduplication(t *testing.T) {
+	f := NewFlooder()
+	m := FloodMsg{Origin: 7, Seq: 1}
+	if !f.Fresh(m) {
+		t.Fatal("first copy should be fresh")
+	}
+	if f.Fresh(m) {
+		t.Fatal("duplicate should not be fresh")
+	}
+	if f.Fresh(FloodMsg{Origin: 7, Seq: 0}) {
+		t.Fatal("stale lower-seq instance should not be fresh")
+	}
+	if !f.Fresh(FloodMsg{Origin: 7, Seq: 2}) {
+		t.Fatal("next seq should be fresh")
+	}
+	if !f.Fresh(FloodMsg{Origin: 8, Seq: 1}) {
+		t.Fatal("different origin should be independent")
+	}
+}
+
+func TestFlooderLastSeqAndReset(t *testing.T) {
+	f := NewFlooder()
+	f.Fresh(FloodMsg{Origin: 1, Seq: 5})
+	if s, ok := f.LastSeq(1); !ok || s != 5 {
+		t.Fatalf("LastSeq = %d, %v", s, ok)
+	}
+	if _, ok := f.LastSeq(2); ok {
+		t.Fatal("unknown origin should report !ok")
+	}
+	f.Reset()
+	if _, ok := f.LastSeq(1); ok {
+		t.Fatal("Reset kept state")
+	}
+	if !f.Fresh(FloodMsg{Origin: 1, Seq: 1}) {
+		t.Fatal("post-reset seq 1 should be fresh")
+	}
+}
+
+func TestRouteModeString(t *testing.T) {
+	if ModeGreedy.String() != "greedy" || ModePerimeter.String() != "perimeter" {
+		t.Fatal("mode names wrong")
+	}
+	if RouteMode(9).String() == "" {
+		t.Fatal("unknown mode should format")
+	}
+}

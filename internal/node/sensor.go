@@ -1,0 +1,446 @@
+// Package node implements sensor-node behaviour: boot-time location
+// announcement, periodic beaconing, guardian/guardee failure detection,
+// neighbor-table maintenance, myrobot tracking, and the relaying of robot
+// location-update floods according to a per-algorithm Policy.
+package node
+
+import (
+	"sort"
+
+	"roborepair/internal/broadcastopt"
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+	"roborepair/internal/netstack"
+	"roborepair/internal/radio"
+	"roborepair/internal/sim"
+	"roborepair/internal/wire"
+)
+
+// Policy is the algorithm-specific part of sensor behaviour. The three
+// coordination algorithms differ only in how sensors choose their failure
+// report target ("myrobot"/manager) and which robot location updates they
+// relay.
+type Policy interface {
+	// Consider processes a robot location update heard by s. It may adopt
+	// the robot as s's report target and reports whether s relays the
+	// flood onward.
+	Consider(s *Sensor, up wire.RobotUpdate) (relay bool)
+	// GuardianOK reports whether a sensor at guardee may pick a sensor at
+	// guardian as its guardian (the fixed algorithm restricts the pair to
+	// one subarea).
+	GuardianOK(guardee, guardian geom.Point) bool
+}
+
+// Config carries the sensor parameters of the paper's setup (§4.1).
+type Config struct {
+	// Range is the sensor transmission range in meters (63 in the paper).
+	Range float64
+	// BeaconPeriod is the failure-detection heartbeat period (10 s).
+	BeaconPeriod sim.Duration
+	// MissedBeacons is how many silent periods declare a failure (3).
+	MissedBeacons int
+	// SettleDelay is how long after boot a sensor waits before selecting
+	// its guardian, leaving time for location announcements to arrive.
+	SettleDelay sim.Duration
+	// FloodTTL caps controlled-flood relaying (safety bound; the relay
+	// predicate is the real scope limit).
+	FloodTTL int
+	// EfficientBroadcast enables the §4.3.2 relay-set optimization: each
+	// relaying sensor designates at most six angular-sector forwarders
+	// instead of letting every neighbor relay.
+	EfficientBroadcast bool
+}
+
+// Hooks lets the experiment runner observe sensor-level events without
+// coupling the node to the scenario package.
+type Hooks struct {
+	// OnReportSent fires when a guardian originates a failure report.
+	OnReportSent func(rep wire.FailureReport)
+	// OnReportDropped fires when a report packet is discarded in the
+	// network with this sensor as a relay.
+	OnReportDropped func(p netstack.Packet, reason netstack.DropReason)
+}
+
+type guardee struct {
+	loc       geom.Point
+	lastHeard sim.Time
+}
+
+// Sensor is one static sensor node.
+type Sensor struct {
+	id     radio.NodeID
+	pos    geom.Point
+	cfg    Config
+	policy Policy
+	hooks  Hooks
+
+	medium *radio.Medium
+	sched  *sim.Scheduler
+
+	alive   bool
+	table   *netstack.NeighborTable
+	router  *netstack.Router
+	flooder *netstack.Flooder
+	ticker  *sim.Ticker
+
+	guardian     radio.NodeID // 0 when none
+	lastGuardian sim.Time
+	guardees     map[radio.NodeID]guardee
+
+	target    radio.NodeID // failure report destination
+	targetLoc geom.Point
+	robots    map[radio.NodeID]geom.Point // known robots/managers (never guardians)
+}
+
+var _ radio.Station = (*Sensor)(nil)
+
+// NewSensor constructs a sensor; call Start to boot it.
+func NewSensor(id radio.NodeID, pos geom.Point, cfg Config, policy Policy, medium *radio.Medium, hooks Hooks) *Sensor {
+	s := &Sensor{
+		id:       id,
+		pos:      pos,
+		cfg:      cfg,
+		policy:   policy,
+		hooks:    hooks,
+		medium:   medium,
+		sched:    medium.Scheduler(),
+		alive:    true,
+		table:    netstack.NewNeighborTable(),
+		flooder:  netstack.NewFlooder(),
+		guardees: make(map[radio.NodeID]guardee),
+		robots:   make(map[radio.NodeID]geom.Point),
+	}
+	s.router = &netstack.Router{
+		ID:     id,
+		Pos:    func() geom.Point { return s.pos },
+		Range:  func() float64 { return s.cfg.Range },
+		Medium: medium,
+		Source: netstack.TableSource{Table: s.table},
+		Deliver: func(netstack.Packet) {
+			// Sensors are never packet destinations in this system.
+		},
+		OnDrop: func(p netstack.Packet, r netstack.DropReason) {
+			s.medium.Metrics().CountTx("drop_"+string(r), 1)
+			if s.hooks.OnReportDropped != nil {
+				s.hooks.OnReportDropped(p, r)
+			}
+		},
+	}
+	return s
+}
+
+// ID returns the sensor's address.
+func (s *Sensor) ID() radio.NodeID { return s.id }
+
+// Pos returns the sensor's (fixed) location.
+func (s *Sensor) Pos() geom.Point { return s.pos }
+
+// Alive reports whether the sensor is operational.
+func (s *Sensor) Alive() bool { return s.alive }
+
+// Location implements failure.Failable.
+func (s *Sensor) Location() geom.Point { return s.pos }
+
+// Target returns the sensor's current failure-report destination.
+func (s *Sensor) Target() (radio.NodeID, geom.Point) { return s.target, s.targetLoc }
+
+// SetTarget sets the report destination ("myrobot" or the manager).
+func (s *Sensor) SetTarget(id radio.NodeID, loc geom.Point) {
+	s.target = id
+	s.targetLoc = loc
+}
+
+// Guardian returns the sensor's current guardian (0 when none).
+func (s *Sensor) Guardian() radio.NodeID { return s.guardian }
+
+// Guardees returns the IDs this sensor currently guards, for tests.
+func (s *Sensor) Guardees() []radio.NodeID {
+	out := make([]radio.NodeID, 0, len(s.guardees))
+	for id := range s.guardees {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Table exposes the neighbor table (used by tests and diagnostics).
+func (s *Sensor) Table() *netstack.NeighborTable { return s.table }
+
+// KnowsRobot reports the last location the sensor heard for a robot.
+func (s *Sensor) KnowsRobot(id radio.NodeID) (geom.Point, bool) {
+	p, ok := s.robots[id]
+	return p, ok
+}
+
+// ClosestKnownRobot returns the robot closest to this sensor according to
+// the last-heard locations, resolving ties by lowest ID for determinism.
+func (s *Sensor) ClosestKnownRobot() (radio.NodeID, geom.Point, bool) {
+	var bestID radio.NodeID
+	var bestLoc geom.Point
+	bestD := -1.0
+	for id, loc := range s.robots {
+		d := s.pos.Dist2(loc)
+		if bestD < 0 || d < bestD || (d == bestD && id < bestID) {
+			bestID, bestLoc, bestD = id, loc, d
+		}
+	}
+	return bestID, bestLoc, bestD >= 0
+}
+
+// RadioID implements radio.Station.
+func (s *Sensor) RadioID() radio.NodeID { return s.id }
+
+// RadioPos implements radio.Station.
+func (s *Sensor) RadioPos() geom.Point { return s.pos }
+
+// RadioRange implements radio.Station.
+func (s *Sensor) RadioRange() float64 { return s.cfg.Range }
+
+// RadioActive implements radio.Station.
+func (s *Sensor) RadioActive() bool { return s.alive }
+
+// Start attaches the sensor to the medium and boots it: it announces its
+// location (one-hop) after announceOffset — so that every station of the
+// initial deployment is attached before the first announcement fires —
+// schedules guardian selection after SettleDelay, and starts the beacon
+// ticker with the given phase offset.
+//
+// replacement marks a node deployed by a robot mid-run; its announcement
+// is counted as replacement traffic and prompts neighbors to beacon back.
+func (s *Sensor) Start(announceOffset, beaconOffset sim.Duration, replacement bool) {
+	s.medium.Attach(s)
+	cat := metrics.CatInit
+	if replacement {
+		cat = metrics.CatReplacement
+	}
+	s.sched.After(announceOffset, func() {
+		if !s.alive {
+			return
+		}
+		s.medium.Send(radio.Frame{
+			Src:      s.id,
+			Dst:      radio.IDBroadcast,
+			Category: cat,
+			Payload:  wire.LocationAnnounce{From: s.id, Loc: s.pos, Replacement: replacement},
+		})
+	})
+	s.sched.After(s.cfg.SettleDelay, s.selectGuardian)
+	t, err := s.sched.NewTicker(beaconOffset, s.cfg.BeaconPeriod, s.tick)
+	if err != nil {
+		// Unreachable: BeaconPeriod is validated by the scenario config.
+		panic(err)
+	}
+	s.ticker = t
+}
+
+// FailNow implements failure.Failable: the sensor goes silent immediately.
+func (s *Sensor) FailNow() {
+	if !s.alive {
+		return
+	}
+	s.alive = false
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+}
+
+// tick sends the periodic beacon and runs the failure-detection checks.
+func (s *Sensor) tick() {
+	if !s.alive {
+		return
+	}
+	now := s.sched.Now()
+	s.medium.Send(radio.Frame{
+		Src:      s.id,
+		Dst:      radio.IDBroadcast,
+		Category: metrics.CatBeacon,
+		Payload:  wire.Beacon{From: s.id, Loc: s.pos},
+	})
+
+	deadline := now.Sub(s.cfg.BeaconPeriod * sim.Duration(s.cfg.MissedBeacons))
+
+	// Guardee liveness: a silent guardee has failed — report it. Iterate
+	// in ID order so runs are reproducible.
+	var failed []radio.NodeID
+	for id, g := range s.guardees {
+		if g.lastHeard < deadline {
+			failed = append(failed, id)
+		}
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	for _, id := range failed {
+		g := s.guardees[id]
+		delete(s.guardees, id)
+		s.table.Remove(id)
+		s.report(id, g.loc, now)
+	}
+
+	// Guardian liveness: a silent guardian is replaced, not reported
+	// (its own guardian reports it).
+	if s.guardian != 0 && s.lastGuardian < deadline {
+		s.table.Remove(s.guardian)
+		s.guardian = 0
+		s.selectGuardian()
+	}
+
+	// Purge other stale neighbors so routing never picks a dead relay.
+	// Robots are exempt: they beacon on their own schedule (location
+	// updates), and purging them would orphan the last-hop delivery.
+	for _, id := range s.table.Purge(deadline) {
+		if _, isRobot := s.robots[id]; isRobot {
+			if loc, ok := s.robots[id]; ok && s.pos.Dist(loc) <= s.cfg.Range {
+				s.table.Upsert(id, loc, now)
+			}
+		}
+	}
+}
+
+// selectGuardian picks the nearest alive neighbor permitted by the policy
+// and confirms the relationship.
+func (s *Sensor) selectGuardian() {
+	if !s.alive || s.guardian != 0 {
+		return
+	}
+	except := make(map[radio.NodeID]bool, len(s.robots))
+	for id := range s.robots {
+		except[id] = true
+	}
+	var chosen *netstack.Neighbor
+	for _, n := range s.table.All() {
+		if except[n.ID] || !s.policy.GuardianOK(s.pos, n.Loc) {
+			continue
+		}
+		if chosen == nil || n.Loc.Dist2(s.pos) < chosen.Loc.Dist2(s.pos) {
+			n := n
+			chosen = &n
+		}
+	}
+	if chosen == nil {
+		return // isolated sensor: unguarded, as in the paper's model
+	}
+	s.guardian = chosen.ID
+	s.lastGuardian = s.sched.Now()
+	s.medium.Send(radio.Frame{
+		Src:      s.id,
+		Dst:      chosen.ID,
+		Category: metrics.CatInit,
+		Payload:  wire.GuardianConfirm{From: s.id, Loc: s.pos},
+	})
+}
+
+// report originates a failure report toward the sensor's current target.
+func (s *Sensor) report(failed radio.NodeID, loc geom.Point, now sim.Time) {
+	if s.target == 0 {
+		return // no known manager: the failure goes unreported
+	}
+	rep := wire.FailureReport{Failed: failed, Loc: loc, Reporter: s.id, DetectedAt: now}
+	if s.hooks.OnReportSent != nil {
+		s.hooks.OnReportSent(rep)
+	}
+	s.router.Originate(netstack.Packet{
+		Dst:      s.target,
+		DstLoc:   s.targetLoc,
+		Category: metrics.CatFailureReport,
+		Payload:  rep,
+	})
+}
+
+// HandleFrame implements radio.Station.
+func (s *Sensor) HandleFrame(f radio.Frame) {
+	if !s.alive {
+		return
+	}
+	now := s.sched.Now()
+	switch m := f.Payload.(type) {
+	case wire.Beacon:
+		s.hearNeighbor(m.From, m.Loc, now)
+	case wire.LocationAnnounce:
+		s.hearNeighbor(m.From, m.Loc, now)
+		if m.Replacement {
+			// §4.2(a): answer a replacement node's boot broadcast with a
+			// beacon so it can build its neighbor table.
+			s.medium.Send(radio.Frame{
+				Src:      s.id,
+				Dst:      radio.IDBroadcast,
+				Category: metrics.CatReplacement,
+				Payload:  wire.Beacon{From: s.id, Loc: s.pos},
+			})
+		}
+	case wire.GuardianConfirm:
+		s.guardees[m.From] = guardee{loc: m.Loc, lastHeard: now}
+		s.hearNeighbor(m.From, m.Loc, now)
+	case wire.RobotUpdate:
+		// One-hop robot announce (centralized location update).
+		s.noteRobot(m, now)
+	case netstack.FloodMsg:
+		s.handleFlood(m, now)
+	case netstack.Packet:
+		s.router.Receive(m)
+	}
+}
+
+// hearNeighbor refreshes detection and routing state for a one-hop
+// transmission from a sensor peer.
+func (s *Sensor) hearNeighbor(from radio.NodeID, loc geom.Point, now sim.Time) {
+	if s.pos.Dist(loc) <= s.cfg.Range {
+		// Only bidirectionally reachable peers are usable next hops.
+		s.table.Upsert(from, loc, now)
+	}
+	if g, ok := s.guardees[from]; ok {
+		g.lastHeard = now
+		s.guardees[from] = g
+	}
+	if from == s.guardian {
+		s.lastGuardian = now
+	}
+}
+
+// noteRobot records a robot's position and refreshes target/table state.
+func (s *Sensor) noteRobot(up wire.RobotUpdate, now sim.Time) {
+	s.robots[up.Robot] = up.Loc
+	if s.pos.Dist(up.Loc) <= s.cfg.Range {
+		s.table.Upsert(up.Robot, up.Loc, now)
+	} else {
+		s.table.Remove(up.Robot)
+	}
+	if up.Robot == s.target {
+		s.targetLoc = up.Loc
+	}
+}
+
+// handleFlood applies duplicate suppression, lets the policy decide
+// adoption/relaying, and rebroadcasts when appropriate.
+func (s *Sensor) handleFlood(m netstack.FloodMsg, now sim.Time) {
+	up, ok := m.Payload.(wire.RobotUpdate)
+	if !ok {
+		return
+	}
+	if !s.flooder.Fresh(m) {
+		return
+	}
+	s.noteRobot(up, now)
+	relay := s.policy.Consider(s, up)
+	if !relay || m.TTL <= 1 {
+		return
+	}
+	if !broadcastopt.Contains(m.Relays, s.id) {
+		return // not a designated forwarder under efficient broadcast
+	}
+	var relays []radio.NodeID
+	if s.cfg.EfficientBroadcast {
+		relays = broadcastopt.SelectRelays(s.pos, s.table.All(), broadcastopt.DefaultSectors)
+	}
+	s.medium.Send(radio.Frame{
+		Src:      s.id,
+		Dst:      radio.IDBroadcast,
+		Category: m.Category,
+		Payload: netstack.FloodMsg{
+			Origin:   m.Origin,
+			Seq:      m.Seq,
+			Category: m.Category,
+			Payload:  m.Payload,
+			Hops:     m.Hops + 1,
+			TTL:      m.TTL - 1,
+			Relays:   relays,
+		},
+	})
+}

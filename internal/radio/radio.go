@@ -1,0 +1,292 @@
+// Package radio simulates the shared wireless medium: a unit-disk
+// propagation model with per-transmission accounting, optional per-hop
+// latency and loss, and a uniform-grid spatial index for neighbor lookup.
+//
+// This replaces the paper's GloMoSim/802.11 substrate. The paper reports
+// 100% delivery ("high density of sensor nodes and low traffic load"), so
+// the default medium is lossless; Bernoulli loss can be injected for
+// robustness experiments. Every call to Send counts exactly one wireless
+// transmission in the run's metrics registry — the unit of the paper's
+// messaging-overhead metric (Figure 4).
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+	"roborepair/internal/sim"
+)
+
+// NodeID identifies a station (sensor, robot, or manager) on the medium.
+type NodeID int
+
+// IDBroadcast addresses a frame to every station in transmission range.
+const IDBroadcast NodeID = -1
+
+// String formats the ID, naming the broadcast address.
+func (id NodeID) String() string {
+	if id == IDBroadcast {
+		return "bcast"
+	}
+	return fmt.Sprintf("n%d", int(id))
+}
+
+// Frame is one link-layer transmission. Payload is interpreted by the
+// network layer; Category attributes the transmission in the metrics
+// registry.
+type Frame struct {
+	Src      NodeID
+	Dst      NodeID // IDBroadcast for one-hop broadcast
+	Category string
+	Payload  any
+}
+
+// Station is anything attached to the medium.
+type Station interface {
+	// RadioID returns the station's medium address.
+	RadioID() NodeID
+	// RadioPos returns the station's current location.
+	RadioPos() geom.Point
+	// RadioRange returns the station's transmission range in meters.
+	RadioRange() float64
+	// RadioActive reports whether the station can send and receive
+	// (failed sensors are inactive but remain attached).
+	RadioActive() bool
+	// HandleFrame delivers a received frame.
+	HandleFrame(f Frame)
+}
+
+// LossModel decides whether a particular reception is dropped.
+type LossModel interface {
+	// Drop reports whether the frame from src is lost at dst.
+	Drop(src, dst NodeID) bool
+}
+
+// BernoulliLoss drops each reception independently with probability P,
+// drawing from Rand.
+type BernoulliLoss struct {
+	P    float64
+	Rand interface{ Float64() float64 }
+}
+
+// Drop implements LossModel.
+func (l *BernoulliLoss) Drop(NodeID, NodeID) bool {
+	return l.Rand.Float64() < l.P
+}
+
+var _ LossModel = (*BernoulliLoss)(nil)
+
+// Config parameterizes a Medium.
+type Config struct {
+	// CellSize is the spatial-index grid pitch in meters; it should be
+	// close to the most common transmission range. Zero selects 63 m
+	// (the paper's sensor range).
+	CellSize float64
+	// Latency is the virtual time between Send and delivery. Zero means
+	// synchronous delivery within the same event. Ignored when the
+	// contention model is enabled (airtime then governs timing).
+	Latency sim.Duration
+	// Loss optionally drops receptions. Nil means lossless.
+	Loss LossModel
+	// Contention optionally enables the MAC collision model.
+	Contention ContentionConfig
+}
+
+// Medium is the shared wireless channel. It is single-threaded, driven by
+// the simulation scheduler.
+type Medium struct {
+	sched    *sim.Scheduler
+	reg      *metrics.Registry
+	cfg      Config
+	stations map[NodeID]Station
+	grid     map[cellKey][]NodeID
+	air      *air
+	frameSeq uint64
+}
+
+// sendSnapshot freezes the sender's position and range at Send time.
+type sendSnapshot struct {
+	pos geom.Point
+	rng float64
+}
+
+type cellKey struct{ cx, cy int }
+
+// NewMedium returns an empty medium using the given scheduler and metrics
+// registry.
+func NewMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg Config) *Medium {
+	if cfg.CellSize <= 0 {
+		cfg.CellSize = 63
+	}
+	return &Medium{
+		sched:    sched,
+		reg:      reg,
+		cfg:      cfg,
+		stations: make(map[NodeID]Station),
+		grid:     make(map[cellKey][]NodeID),
+		air:      newAir(),
+	}
+}
+
+// Attach registers a station at its current position. Attaching an ID that
+// is already present replaces the previous station.
+func (m *Medium) Attach(s Station) {
+	if old, ok := m.stations[s.RadioID()]; ok {
+		m.removeFromGrid(old.RadioID(), old.RadioPos())
+	}
+	m.stations[s.RadioID()] = s
+	m.addToGrid(s.RadioID(), s.RadioPos())
+}
+
+// Detach removes a station from the medium entirely.
+func (m *Medium) Detach(id NodeID) {
+	s, ok := m.stations[id]
+	if !ok {
+		return
+	}
+	m.removeFromGrid(id, s.RadioPos())
+	delete(m.stations, id)
+}
+
+// Moved must be called after a station's position changes so the spatial
+// index stays consistent.
+func (m *Medium) Moved(id NodeID, oldPos geom.Point) {
+	s, ok := m.stations[id]
+	if !ok {
+		return
+	}
+	oldKey := m.keyOf(oldPos)
+	newKey := m.keyOf(s.RadioPos())
+	if oldKey == newKey {
+		return
+	}
+	m.removeFromGridAt(id, oldKey)
+	m.addToGrid(id, s.RadioPos())
+}
+
+// Station returns the attached station with the given ID, or nil.
+func (m *Medium) Station(id NodeID) Station { return m.stations[id] }
+
+// Len reports the number of attached stations.
+func (m *Medium) Len() int { return len(m.stations) }
+
+func (m *Medium) keyOf(p geom.Point) cellKey {
+	return cellKey{
+		cx: int(math.Floor(p.X / m.cfg.CellSize)),
+		cy: int(math.Floor(p.Y / m.cfg.CellSize)),
+	}
+}
+
+func (m *Medium) addToGrid(id NodeID, p geom.Point) {
+	k := m.keyOf(p)
+	m.grid[k] = append(m.grid[k], id)
+}
+
+func (m *Medium) removeFromGrid(id NodeID, p geom.Point) {
+	m.removeFromGridAt(id, m.keyOf(p))
+}
+
+func (m *Medium) removeFromGridAt(id NodeID, k cellKey) {
+	ids := m.grid[k]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			m.grid[k] = ids[:len(ids)-1]
+			return
+		}
+	}
+}
+
+// InRange returns the active stations strictly within radius of p,
+// excluding the station with ID exclude. Results are in deterministic
+// (ID-sorted) order.
+func (m *Medium) InRange(p geom.Point, radius float64, exclude NodeID) []Station {
+	if radius <= 0 {
+		return nil
+	}
+	r2 := radius * radius
+	lo := m.keyOf(geom.Pt(p.X-radius, p.Y-radius))
+	hi := m.keyOf(geom.Pt(p.X+radius, p.Y+radius))
+	var out []Station
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for _, id := range m.grid[cellKey{cx, cy}] {
+				if id == exclude {
+					continue
+				}
+				s := m.stations[id]
+				if s == nil || !s.RadioActive() {
+					continue
+				}
+				if p.Dist2(s.RadioPos()) <= r2 {
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	sortStations(out)
+	return out
+}
+
+func sortStations(ss []Station) {
+	// Insertion sort: neighbor lists are short (tens of entries) and this
+	// avoids the sort.Slice closure allocation on the hottest path.
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].RadioID() < ss[j-1].RadioID(); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Send transmits one frame from the station f.Src. The transmission is
+// counted in f.Category regardless of how many stations receive it (a
+// single wireless transmission reaches all neighbors). Inactive or
+// detached senders transmit nothing.
+func (m *Medium) Send(f Frame) {
+	src, ok := m.stations[f.Src]
+	if !ok || !src.RadioActive() {
+		return
+	}
+	m.reg.CountTx(f.Category, 1)
+	if m.cfg.Contention.Enabled() {
+		m.sendContended(f, sendSnapshot{pos: src.RadioPos(), rng: src.RadioRange()})
+		return
+	}
+	if m.cfg.Latency <= 0 {
+		m.deliver(f, src.RadioPos(), src.RadioRange())
+		return
+	}
+	pos, rng := src.RadioPos(), src.RadioRange()
+	m.sched.After(m.cfg.Latency, func() { m.deliver(f, pos, rng) })
+}
+
+func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
+	if f.Dst != IDBroadcast {
+		dst, ok := m.stations[f.Dst]
+		if !ok || !dst.RadioActive() {
+			return
+		}
+		if from.Dist2(dst.RadioPos()) > rng*rng {
+			return
+		}
+		if m.cfg.Loss != nil && m.cfg.Loss.Drop(f.Src, f.Dst) {
+			return
+		}
+		dst.HandleFrame(f)
+		return
+	}
+	for _, s := range m.InRange(from, rng, f.Src) {
+		if m.cfg.Loss != nil && m.cfg.Loss.Drop(f.Src, s.RadioID()) {
+			continue
+		}
+		s.HandleFrame(f)
+	}
+}
+
+// Scheduler exposes the simulation scheduler driving this medium.
+func (m *Medium) Scheduler() *sim.Scheduler { return m.sched }
+
+// Metrics exposes the metrics registry transmissions are counted in.
+func (m *Medium) Metrics() *metrics.Registry { return m.reg }

@@ -1,0 +1,309 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+	"roborepair/internal/rng"
+	"roborepair/internal/sim"
+)
+
+// fakeStation is a minimal Station for medium tests.
+type fakeStation struct {
+	id       NodeID
+	pos      geom.Point
+	rng      float64
+	inactive bool
+	got      []Frame
+}
+
+func (s *fakeStation) RadioID() NodeID      { return s.id }
+func (s *fakeStation) RadioPos() geom.Point { return s.pos }
+func (s *fakeStation) RadioRange() float64  { return s.rng }
+func (s *fakeStation) RadioActive() bool    { return !s.inactive }
+func (s *fakeStation) HandleFrame(f Frame)  { s.got = append(s.got, f) }
+func (s *fakeStation) count() int           { return len(s.got) }
+func (s *fakeStation) last() Frame          { return s.got[len(s.got)-1] }
+
+var _ Station = (*fakeStation)(nil)
+
+func newTestMedium(cfg Config) (*Medium, *metrics.Registry, *sim.Scheduler) {
+	sched := sim.NewScheduler()
+	reg := metrics.NewRegistry()
+	return NewMedium(sched, reg, cfg), reg, sched
+}
+
+func TestBroadcastReachesOnlyInRange(t *testing.T) {
+	m, reg, _ := newTestMedium(Config{})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	b := &fakeStation{id: 2, pos: geom.Pt(50, 0), rng: 63}
+	c := &fakeStation{id: 3, pos: geom.Pt(100, 0), rng: 63}
+	for _, s := range []*fakeStation{a, b, c} {
+		m.Attach(s)
+	}
+	m.Send(Frame{Src: 1, Dst: IDBroadcast, Category: metrics.CatBeacon})
+	if b.count() != 1 {
+		t.Fatalf("in-range station got %d frames", b.count())
+	}
+	if c.count() != 0 {
+		t.Fatal("out-of-range station received a frame")
+	}
+	if a.count() != 0 {
+		t.Fatal("sender received its own frame")
+	}
+	if reg.Tx(metrics.CatBeacon) != 1 {
+		t.Fatalf("tx count = %d, want 1", reg.Tx(metrics.CatBeacon))
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	m, _, _ := newTestMedium(Config{})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 100}
+	b := &fakeStation{id: 2, pos: geom.Pt(50, 0), rng: 100}
+	c := &fakeStation{id: 3, pos: geom.Pt(60, 0), rng: 100}
+	for _, s := range []*fakeStation{a, b, c} {
+		m.Attach(s)
+	}
+	m.Send(Frame{Src: 1, Dst: 2, Category: "x", Payload: "hello"})
+	if b.count() != 1 || b.last().Payload != "hello" {
+		t.Fatalf("unicast target frames = %v", b.got)
+	}
+	if c.count() != 0 {
+		t.Fatal("non-target overheard a unicast (by design unicast delivers only to Dst)")
+	}
+}
+
+func TestUnicastOutOfRangeDropped(t *testing.T) {
+	m, reg, _ := newTestMedium(Config{})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	b := &fakeStation{id: 2, pos: geom.Pt(100, 0), rng: 63}
+	m.Attach(a)
+	m.Attach(b)
+	m.Send(Frame{Src: 1, Dst: 2, Category: "x"})
+	if b.count() != 0 {
+		t.Fatal("out-of-range unicast delivered")
+	}
+	// The transmission still happened (and is counted).
+	if reg.Tx("x") != 1 {
+		t.Fatal("transmission not counted")
+	}
+}
+
+func TestAsymmetricRanges(t *testing.T) {
+	// Robot (250 m) can reach a sensor 200 m away, but the sensor (63 m)
+	// cannot reach back — exactly the paper's asymmetry.
+	m, _, _ := newTestMedium(Config{})
+	robot := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 250}
+	sensor := &fakeStation{id: 2, pos: geom.Pt(200, 0), rng: 63}
+	m.Attach(robot)
+	m.Attach(sensor)
+	m.Send(Frame{Src: 1, Dst: IDBroadcast, Category: "x"})
+	if sensor.count() != 1 {
+		t.Fatal("robot broadcast did not reach distant sensor")
+	}
+	m.Send(Frame{Src: 2, Dst: IDBroadcast, Category: "x"})
+	if robot.count() != 0 {
+		t.Fatal("sensor with 63 m range reached robot 200 m away")
+	}
+}
+
+func TestInactiveStationsNeitherSendNorReceive(t *testing.T) {
+	m, reg, _ := newTestMedium(Config{})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	dead := &fakeStation{id: 2, pos: geom.Pt(10, 0), rng: 63, inactive: true}
+	m.Attach(a)
+	m.Attach(dead)
+	m.Send(Frame{Src: 2, Dst: IDBroadcast, Category: "x"})
+	if reg.Tx("x") != 0 {
+		t.Fatal("inactive sender transmitted")
+	}
+	m.Send(Frame{Src: 1, Dst: IDBroadcast, Category: "x"})
+	if dead.count() != 0 {
+		t.Fatal("inactive station received")
+	}
+	m.Send(Frame{Src: 1, Dst: 2, Category: "x"})
+	if dead.count() != 0 {
+		t.Fatal("inactive station received unicast")
+	}
+}
+
+func TestDetachedSenderIsSilent(t *testing.T) {
+	m, reg, _ := newTestMedium(Config{})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	m.Attach(a)
+	m.Detach(1)
+	m.Send(Frame{Src: 1, Dst: IDBroadcast, Category: "x"})
+	if reg.Tx("x") != 0 {
+		t.Fatal("detached sender transmitted")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after detach", m.Len())
+	}
+}
+
+func TestLatencyDefersDelivery(t *testing.T) {
+	m, _, sched := newTestMedium(Config{Latency: 0.01})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	b := &fakeStation{id: 2, pos: geom.Pt(10, 0), rng: 63}
+	m.Attach(a)
+	m.Attach(b)
+	m.Send(Frame{Src: 1, Dst: 2, Category: "x"})
+	if b.count() != 0 {
+		t.Fatal("latency>0 should defer delivery")
+	}
+	sched.RunAll()
+	if b.count() != 1 {
+		t.Fatal("deferred frame never delivered")
+	}
+	if sched.Now() != 0.01 {
+		t.Fatalf("delivery at %v, want 0.01", sched.Now())
+	}
+}
+
+func TestMovedUpdatesSpatialIndex(t *testing.T) {
+	m, _, _ := newTestMedium(Config{CellSize: 63})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	b := &fakeStation{id: 2, pos: geom.Pt(500, 500), rng: 63}
+	m.Attach(a)
+	m.Attach(b)
+	// Move b adjacent to a, then notify the medium.
+	old := b.pos
+	b.pos = geom.Pt(30, 0)
+	m.Moved(2, old)
+	m.Send(Frame{Src: 1, Dst: IDBroadcast, Category: "x"})
+	if b.count() != 1 {
+		t.Fatal("moved station not found by broadcast")
+	}
+	// And a is discoverable from b's new position.
+	got := m.InRange(b.pos, 63, 2)
+	if len(got) != 1 || got[0].RadioID() != 1 {
+		t.Fatalf("InRange after move = %v", got)
+	}
+}
+
+func TestInRangeDeterministicOrder(t *testing.T) {
+	m, _, _ := newTestMedium(Config{})
+	for i := 5; i >= 1; i-- {
+		m.Attach(&fakeStation{id: NodeID(i), pos: geom.Pt(float64(i), 0), rng: 63})
+	}
+	got := m.InRange(geom.Pt(0, 0), 63, 0)
+	for i := 1; i < len(got); i++ {
+		if got[i].RadioID() < got[i-1].RadioID() {
+			t.Fatalf("InRange not sorted: %v, %v", got[i-1].RadioID(), got[i].RadioID())
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("found %d stations, want 5", len(got))
+	}
+}
+
+func TestInRangeZeroRadius(t *testing.T) {
+	m, _, _ := newTestMedium(Config{})
+	m.Attach(&fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63})
+	if got := m.InRange(geom.Pt(0, 0), 0, -2); got != nil {
+		t.Fatalf("zero radius returned %v", got)
+	}
+}
+
+func TestBernoulliLossAlwaysDrop(t *testing.T) {
+	m, _, _ := newTestMedium(Config{Loss: &BernoulliLoss{P: 1, Rand: rng.New(1)}})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	b := &fakeStation{id: 2, pos: geom.Pt(10, 0), rng: 63}
+	m.Attach(a)
+	m.Attach(b)
+	for i := 0; i < 10; i++ {
+		m.Send(Frame{Src: 1, Dst: 2, Category: "x"})
+		m.Send(Frame{Src: 1, Dst: IDBroadcast, Category: "x"})
+	}
+	if b.count() != 0 {
+		t.Fatalf("P=1 loss delivered %d frames", b.count())
+	}
+}
+
+func TestBernoulliLossPartial(t *testing.T) {
+	m, _, _ := newTestMedium(Config{Loss: &BernoulliLoss{P: 0.5, Rand: rng.New(7)}})
+	a := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	b := &fakeStation{id: 2, pos: geom.Pt(10, 0), rng: 63}
+	m.Attach(a)
+	m.Attach(b)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		m.Send(Frame{Src: 1, Dst: 2, Category: "x"})
+	}
+	frac := float64(b.count()) / n
+	if frac < 0.42 || frac > 0.58 {
+		t.Fatalf("P=0.5 loss delivered fraction %v", frac)
+	}
+}
+
+func TestAttachReplacesExistingID(t *testing.T) {
+	m, _, _ := newTestMedium(Config{})
+	old := &fakeStation{id: 1, pos: geom.Pt(0, 0), rng: 63}
+	neu := &fakeStation{id: 1, pos: geom.Pt(5, 0), rng: 63}
+	probe := &fakeStation{id: 2, pos: geom.Pt(10, 0), rng: 63}
+	m.Attach(old)
+	m.Attach(neu)
+	m.Attach(probe)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Send(Frame{Src: 2, Dst: IDBroadcast, Category: "x"})
+	if neu.count() != 1 || old.count() != 0 {
+		t.Fatalf("replacement routing wrong: old=%d new=%d", old.count(), neu.count())
+	}
+}
+
+// Property: InRange returns exactly the active stations whose distance is
+// within the radius, for random layouts.
+func TestPropertyInRangeExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rng.New(seed)
+		m, _, _ := newTestMedium(Config{CellSize: 40})
+		stations := make([]*fakeStation, 30)
+		for i := range stations {
+			stations[i] = &fakeStation{
+				id:       NodeID(i + 1),
+				pos:      geom.Pt(r.Uniform(0, 300), r.Uniform(0, 300)),
+				rng:      63,
+				inactive: r.Float64() < 0.2,
+			}
+			m.Attach(stations[i])
+		}
+		center := geom.Pt(r.Uniform(0, 300), r.Uniform(0, 300))
+		radius := r.Uniform(10, 150)
+		got := m.InRange(center, radius, 1)
+		gotSet := make(map[NodeID]bool, len(got))
+		for _, s := range got {
+			gotSet[s.RadioID()] = true
+		}
+		for _, s := range stations {
+			want := s.id != 1 && !s.inactive && center.Dist(s.pos) <= radius
+			if want != gotSet[s.id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBroadcast800Sensors(b *testing.B) {
+	m, _, _ := newTestMedium(Config{CellSize: 63})
+	r := rng.New(1)
+	for i := 0; i < 800; i++ {
+		m.Attach(&fakeStation{
+			id:  NodeID(i + 1),
+			pos: geom.Pt(r.Uniform(0, 800), r.Uniform(0, 800)),
+			rng: 63,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(Frame{Src: NodeID(i%800 + 1), Dst: IDBroadcast, Category: "bench"})
+	}
+}

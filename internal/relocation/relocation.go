@@ -1,0 +1,223 @@
+// Package relocation implements the baseline the paper positions itself
+// against: sensor self-relocation, where redundant *mobile* sensors fill
+// coverage holes themselves (Wang et al., "Sensor Relocation in Mobile
+// Sensor Networks", INFOCOM 2005 — reference [13]), including the
+// cascading movement method that balances per-node energy against
+// response time.
+//
+// The paper's core argument is economic: "mobility is an expensive
+// feature ... Adding mobility to a large number of sensor nodes is
+// expensive", so a few mobile robots should maintain many cheap static
+// sensors. This package makes the comparison quantitative: it simulates
+// the same failure process and reports how far sensors must move — in
+// total, per node, and in wall-clock response — under direct and
+// cascading relocation, for comparison against the robots' Figure 2
+// numbers.
+//
+// The model is deliberately at the movement level (no radio simulation):
+// reference [13]'s contribution is the movement strategy, and its
+// messaging is a Grid-head protocol incomparable to ours; DESIGN.md
+// records the substitution.
+package relocation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/rng"
+)
+
+// Config parameterizes a relocation-baseline run.
+type Config struct {
+	// FieldSide is the square field's side in meters.
+	FieldSide float64
+	// Sensors is the base (non-spare) population.
+	Sensors int
+	// SpareFraction adds this fraction of redundant mobile sensors that
+	// serve as replacement sources (10% in typical redundancy studies).
+	SpareFraction float64
+	// MeanLifetime is the exponential mean lifetime of base sensors (s).
+	MeanLifetime float64
+	// Horizon is the simulated duration (s).
+	Horizon float64
+	// Speed is the mobile sensors' travel speed (m/s).
+	Speed float64
+	// CascadeHop caps how far one sensor moves in a cascading step; the
+	// cascade recruits intermediate sensors so nobody exceeds it.
+	CascadeHop float64
+	// Seed drives the deployment and failure draws.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's 4-robot scenario: a 400 m × 400 m
+// field with 200 base sensors, 10% spares, and the §4.1 failure process.
+func DefaultConfig() Config {
+	return Config{
+		FieldSide:     400,
+		Sensors:       200,
+		SpareFraction: 0.10,
+		MeanLifetime:  16000,
+		Horizon:       16000,
+		Speed:         1,
+		CascadeHop:    40,
+		Seed:          1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.FieldSide <= 0:
+		return fmt.Errorf("relocation: field side %v not positive", c.FieldSide)
+	case c.Sensors <= 0:
+		return fmt.Errorf("relocation: sensors %d not positive", c.Sensors)
+	case c.SpareFraction < 0:
+		return fmt.Errorf("relocation: spare fraction %v negative", c.SpareFraction)
+	case c.MeanLifetime <= 0:
+		return fmt.Errorf("relocation: mean lifetime %v not positive", c.MeanLifetime)
+	case c.Horizon <= 0:
+		return fmt.Errorf("relocation: horizon %v not positive", c.Horizon)
+	case c.Speed <= 0:
+		return fmt.Errorf("relocation: speed %v not positive", c.Speed)
+	case c.CascadeHop <= 0:
+		return fmt.Errorf("relocation: cascade hop %v not positive", c.CascadeHop)
+	}
+	return nil
+}
+
+// Stats aggregates the baseline's movement costs.
+type Stats struct {
+	Failures int
+	Filled   int
+	Unfilled int // failures with no spare left
+
+	// Direct relocation: the nearest spare moves the whole way.
+	DirectDistPerFailure float64
+	DirectResponseS      float64 // distance / speed
+
+	// Cascading relocation: a chain of sensors each move ≤ CascadeHop.
+	CascadeTotalPerFailure  float64 // sum of all chain moves
+	CascadeMaxHopPerFailure float64 // energy-balance metric: longest single move
+	CascadeMovesPerFailure  float64 // sensors disturbed per failure
+	CascadeResponseS        float64 // max single move / speed (moves are concurrent)
+
+	TotalMovement float64 // cascading total over the whole run
+}
+
+// Simulate runs the baseline: base sensors fail by the paper's exponential
+// process; each failure is filled from the nearest remaining spare, both
+// directly and by cascading (the two strategies are evaluated on the same
+// failure sequence; positions evolve under the cascading strategy, the
+// one [13] advocates).
+func Simulate(cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	deploy := rng.Split(cfg.Seed, "relocation-deploy")
+	lifetimes := rng.Split(cfg.Seed, "relocation-lifetimes")
+
+	type mobileSensor struct {
+		pos   geom.Point
+		spare bool
+		dead  bool
+	}
+	spares := int(math.Round(float64(cfg.Sensors) * cfg.SpareFraction))
+	population := make([]mobileSensor, 0, cfg.Sensors+spares)
+	for i := 0; i < cfg.Sensors+spares; i++ {
+		population = append(population, mobileSensor{
+			pos:   geom.Pt(deploy.Uniform(0, cfg.FieldSide), deploy.Uniform(0, cfg.FieldSide)),
+			spare: i >= cfg.Sensors,
+		})
+	}
+
+	// Failure schedule: renewal process per base slot within the horizon.
+	type failureEvent struct {
+		at   float64
+		slot int
+	}
+	var events []failureEvent
+	for slot := 0; slot < cfg.Sensors; slot++ {
+		t := lifetimes.Exponential(cfg.MeanLifetime)
+		for t < cfg.Horizon {
+			events = append(events, failureEvent{at: t, slot: slot})
+			t += lifetimes.Exponential(cfg.MeanLifetime)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].slot < events[j].slot
+	})
+
+	var st Stats
+	nearestSpare := func(p geom.Point) int {
+		best, bestD := -1, math.Inf(1)
+		for i := range population {
+			s := &population[i]
+			if !s.spare || s.dead {
+				continue
+			}
+			if d := p.Dist2(s.pos); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	}
+
+	for _, ev := range events {
+		hole := population[ev.slot].pos
+		st.Failures++
+		sp := nearestSpare(hole)
+		if sp < 0 {
+			st.Unfilled++
+			continue
+		}
+		st.Filled++
+		direct := population[sp].pos.Dist(hole)
+		st.DirectDistPerFailure += direct
+
+		total, maxHop, moves := cascadeFill(population[sp].pos, hole, cfg.CascadeHop)
+		st.CascadeTotalPerFailure += total
+		st.CascadeMaxHopPerFailure += maxHop
+		st.CascadeMovesPerFailure += float64(moves)
+		st.TotalMovement += total
+
+		// Apply the cascading outcome: the spare is consumed (it joined
+		// the sensing population at the chain's tail) and the failed slot
+		// is re-armed as a fresh node at the hole.
+		population[sp].spare = false
+	}
+
+	if st.Filled > 0 {
+		f := float64(st.Filled)
+		st.DirectDistPerFailure /= f
+		st.CascadeTotalPerFailure /= f
+		st.CascadeMaxHopPerFailure /= f
+		st.CascadeMovesPerFailure /= f
+		st.DirectResponseS = st.DirectDistPerFailure / cfg.Speed
+		st.CascadeResponseS = st.CascadeMaxHopPerFailure / cfg.Speed
+	}
+	return st, nil
+}
+
+// cascadeFill computes the cascading chain from the spare's position to
+// the hole. Intermediate waypoints are spaced at most hop apart along the
+// spare→hole segment; each chain move shifts a sensor one waypoint toward
+// the hole, so every participant moves ≤ hop and all moves run
+// concurrently — the energy/time balance of [13]. It returns (total
+// distance, max single move, number of moving sensors).
+func cascadeFill(spare, hole geom.Point, hop float64) (total, maxHop float64, moves int) {
+	dist := spare.Dist(hole)
+	if dist == 0 {
+		return 0, 0, 1
+	}
+	steps := int(math.Ceil(dist / hop))
+	stepLen := dist / float64(steps)
+	// Each of the `steps` participants moves stepLen; total ≈ dist, but
+	// every participant's move is bounded by stepLen ≤ hop, and all moves
+	// happen in parallel — the energy/time balance of [13].
+	return dist, stepLen, steps
+}

@@ -1,0 +1,166 @@
+package relocation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roborepair/internal/geom"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.FieldSide = 0 },
+		func(c *Config) { c.Sensors = 0 },
+		func(c *Config) { c.SpareFraction = -0.1 },
+		func(c *Config) { c.MeanLifetime = 0 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Speed = 0 },
+		func(c *Config) { c.CascadeHop = 0 },
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+		if _, err := Simulate(cfg); err == nil {
+			t.Fatalf("Simulate accepted mutation %d", i)
+		}
+	}
+}
+
+func TestSimulateProducesFailures(t *testing.T) {
+	st, err := Simulate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failures == 0 {
+		t.Fatal("no failures over a full mean lifetime")
+	}
+	// Renewal expectation: 200 slots over 1 mean lifetime ≈ 200 failures.
+	if st.Failures < 120 || st.Failures > 300 {
+		t.Fatalf("failures = %d, want ≈200", st.Failures)
+	}
+	if st.Filled+st.Unfilled != st.Failures {
+		t.Fatalf("filled %d + unfilled %d ≠ failures %d", st.Filled, st.Unfilled, st.Failures)
+	}
+}
+
+func TestSparesDeplete(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpareFraction = 0.02 // only 4 spares for ~200 failures
+	st, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Filled > 4 {
+		t.Fatalf("filled %d with only 4 spares", st.Filled)
+	}
+	if st.Unfilled == 0 {
+		t.Fatal("expected unfilled failures after spare depletion")
+	}
+}
+
+func TestZeroSparesFillsNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpareFraction = 0
+	st, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Filled != 0 || st.TotalMovement != 0 {
+		t.Fatalf("filled=%d movement=%v with zero spares", st.Filled, st.TotalMovement)
+	}
+}
+
+func TestCascadeEnergyBalance(t *testing.T) {
+	st, err := Simulate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cascading bounds every single move by the hop cap (energy balance),
+	// so the max hop is below the direct distance...
+	if st.CascadeMaxHopPerFailure > st.DirectDistPerFailure+1e-9 {
+		t.Fatalf("cascade max hop %v exceeds direct distance %v",
+			st.CascadeMaxHopPerFailure, st.DirectDistPerFailure)
+	}
+	// ...and below the configured cap.
+	if st.CascadeMaxHopPerFailure > DefaultConfig().CascadeHop+1e-9 {
+		t.Fatalf("cascade max hop %v exceeds cap %v",
+			st.CascadeMaxHopPerFailure, DefaultConfig().CascadeHop)
+	}
+	// Total cascade distance matches the direct distance (straight-line
+	// waypoints), so response time is the win, not total energy.
+	if math.Abs(st.CascadeTotalPerFailure-st.DirectDistPerFailure) > 1e-6 {
+		t.Fatalf("cascade total %v ≠ direct %v", st.CascadeTotalPerFailure, st.DirectDistPerFailure)
+	}
+	// Concurrent short moves respond faster than one long move.
+	if st.CascadeResponseS >= st.DirectResponseS {
+		t.Fatalf("cascade response %v not faster than direct %v",
+			st.CascadeResponseS, st.DirectResponseS)
+	}
+	// But cascading disturbs more sensors.
+	if st.CascadeMovesPerFailure < 1 {
+		t.Fatalf("moves per failure = %v", st.CascadeMovesPerFailure)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, _ := Simulate(DefaultConfig())
+	b, _ := Simulate(DefaultConfig())
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	c, _ := Simulate(cfg)
+	if a == c {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestCascadeFillUnits(t *testing.T) {
+	total, maxHop, moves := cascadeFill(geom.Pt(0, 0), geom.Pt(100, 0), 40)
+	if moves != 3 {
+		t.Fatalf("moves = %d, want 3 (ceil(100/40))", moves)
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Fatalf("total = %v", total)
+	}
+	if math.Abs(maxHop-100.0/3) > 1e-9 {
+		t.Fatalf("maxHop = %v", maxHop)
+	}
+	// Degenerate: spare already at the hole.
+	total, maxHop, moves = cascadeFill(geom.Pt(5, 5), geom.Pt(5, 5), 40)
+	if total != 0 || maxHop != 0 || moves != 1 {
+		t.Fatalf("degenerate cascade = %v %v %d", total, maxHop, moves)
+	}
+}
+
+// Property: for any geometry, the cascade's per-move bound holds and the
+// total equals the straight-line distance.
+func TestPropertyCascadeBounds(t *testing.T) {
+	prop := func(x, y int16, hopRaw uint8) bool {
+		hop := float64(hopRaw%60) + 1
+		spare, hole := geom.Pt(0, 0), geom.Pt(float64(x), float64(y))
+		total, maxHop, moves := cascadeFill(spare, hole, hop)
+		dist := spare.Dist(hole)
+		if math.Abs(total-dist) > 1e-6 {
+			return false
+		}
+		if maxHop > hop+1e-9 {
+			return false
+		}
+		return moves >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,438 @@
+// Package robot implements the maintenance robots: point kinematics at
+// constant speed, a first-come-first-served repair queue, the 20 m
+// location-update rule, and node replacement at the failure site.
+package robot
+
+import (
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+	"roborepair/internal/netstack"
+	"roborepair/internal/radio"
+	"roborepair/internal/sim"
+	"roborepair/internal/wire"
+)
+
+// QueuePolicy selects which pending task a robot serves next.
+type QueuePolicy int
+
+const (
+	// FCFS serves tasks in arrival order, as in the paper ("a robot
+	// queues such requests and handles the failures in a first-come-
+	// first-serve fashion").
+	FCFS QueuePolicy = iota
+	// NearestFirst serves the pending task closest to the robot's current
+	// position — an extension ablation trading fairness for travel.
+	NearestFirst
+)
+
+// String names the queue policy.
+func (p QueuePolicy) String() string {
+	if p == NearestFirst {
+		return "nearest-first"
+	}
+	return "fcfs"
+}
+
+// Config carries the robot parameters of the paper's setup (§4.1).
+type Config struct {
+	// Speed is the travel speed in m/s (1, per the Pioneer 3DX).
+	Speed float64
+	// Range is the transmission range in meters (250).
+	Range float64
+	// UpdateThreshold is how far the robot travels between location
+	// updates (20 m, under a third of the sensor range).
+	UpdateThreshold float64
+	// ServiceTime is the time spent unloading a replacement node at the
+	// failure site.
+	ServiceTime sim.Duration
+	// Queue selects the task-selection policy (FCFS in the paper).
+	Queue QueuePolicy
+	// Cargo is how many replacement nodes the robot carries before it
+	// must restock at the Depot (extension; 0 means unlimited, as the
+	// paper implicitly assumes).
+	Cargo int
+	// Depot is where a cargo-limited robot reloads.
+	Depot geom.Point
+}
+
+// Task is one queued repair job.
+type Task struct {
+	Failed     radio.NodeID
+	Loc        geom.Point
+	EnqueuedAt sim.Time
+}
+
+// UpdateMode disseminates a robot's location updates; the three
+// coordination algorithms differ here (unicast-to-manager vs. subarea
+// flood vs. dynamic Voronoi flood).
+type UpdateMode interface {
+	Publish(r *Robot, up wire.RobotUpdate)
+}
+
+// Hooks lets the runner observe robot-level events.
+type Hooks struct {
+	// SpawnReplacement deploys a fresh sensor at the failure site and
+	// returns its ID. The deploying robot is passed so the runner can set
+	// the new node's initial report target.
+	SpawnReplacement func(r *Robot, loc geom.Point) radio.NodeID
+	// OnTaskDone fires after each completed repair with the distance the
+	// robot traveled for that task and its queueing+travel delay.
+	OnTaskDone func(r *Robot, t Task, dist float64, delay sim.Duration)
+	// OnReportReceived fires when a failure report is delivered directly
+	// to this robot (distributed algorithms).
+	OnReportReceived func(rep wire.FailureReport, hops int)
+	// OnRequestReceived fires when a repair request from the central
+	// manager is delivered.
+	OnRequestReceived func(req wire.RepairRequest, hops int)
+	// OnPublish fires whenever the robot disseminates a location update
+	// (including the initial announcement, sequence 1).
+	OnPublish func(r *Robot, up wire.RobotUpdate)
+}
+
+// Robot is a mobile maintainer (and, in the distributed algorithms, a
+// manager for its region).
+type Robot struct {
+	id    radio.NodeID
+	cfg   Config
+	mode  UpdateMode
+	hooks Hooks
+
+	medium *radio.Medium
+	sched  *sim.Scheduler
+	router *netstack.Router
+
+	// Kinematics: while moving, position is interpolated from anchor.
+	anchor     geom.Point
+	anchorTime sim.Time
+	dest       geom.Point
+	moving     bool
+	arriveEv   *sim.Event
+	updateEv   *sim.Event
+	indexedPos geom.Point // last position pushed into the medium's index
+
+	queue    []Task
+	current  *Task
+	taskFrom geom.Point // position where the current task started
+
+	traveled   float64
+	seq        uint64
+	cargo      int  // replacement nodes on board; -1 means unlimited
+	restocking bool // current leg heads to the depot, not the task
+	restocks   int
+	failed     bool
+}
+
+var _ radio.Station = (*Robot)(nil)
+
+// New constructs a robot at pos; call Start to attach it to the medium.
+func New(id radio.NodeID, pos geom.Point, cfg Config, mode UpdateMode, medium *radio.Medium, hooks Hooks) *Robot {
+	cargo := -1
+	if cfg.Cargo > 0 {
+		cargo = cfg.Cargo
+	}
+	r := &Robot{
+		id:         id,
+		cfg:        cfg,
+		mode:       mode,
+		hooks:      hooks,
+		medium:     medium,
+		sched:      medium.Scheduler(),
+		anchor:     pos,
+		anchorTime: medium.Scheduler().Now(),
+		indexedPos: pos,
+		cargo:      cargo,
+	}
+	r.router = &netstack.Router{
+		ID:     id,
+		Pos:    r.Pos,
+		Range:  func() float64 { return r.cfg.Range },
+		Medium: medium,
+		Source: netstack.MediumSource{
+			Medium: medium,
+			Self:   id,
+			Pos:    r.Pos,
+			Range:  func() float64 { return r.cfg.Range },
+		},
+		Deliver: r.deliver,
+		OnDrop: func(p netstack.Packet, reason netstack.DropReason) {
+			medium.Metrics().CountTx("drop_"+string(reason), 1)
+		},
+	}
+	return r
+}
+
+// ID returns the robot's address.
+func (r *Robot) ID() radio.NodeID { return r.id }
+
+// Pos returns the robot's current (interpolated) position.
+func (r *Robot) Pos() geom.Point {
+	if !r.moving {
+		return r.anchor
+	}
+	elapsed := float64(r.sched.Now().Sub(r.anchorTime))
+	d := r.cfg.Speed * elapsed
+	total := r.anchor.Dist(r.dest)
+	if d >= total {
+		return r.dest
+	}
+	return r.anchor.Add(r.anchor.Unit(r.dest).Scale(d))
+}
+
+// Traveled reports the robot's cumulative travel distance.
+func (r *Robot) Traveled() float64 { return r.traveled }
+
+// QueueLen reports the number of queued (not yet started) tasks.
+func (r *Robot) QueueLen() int { return len(r.queue) }
+
+// Busy reports whether the robot is executing a task.
+func (r *Robot) Busy() bool { return r.current != nil }
+
+// Seq returns the robot's current location-update sequence number.
+func (r *Robot) Seq() uint64 { return r.seq }
+
+// Cargo reports the replacement nodes on board (-1 means unlimited).
+func (r *Robot) Cargo() int { return r.cargo }
+
+// Restocks reports how many depot reload trips the robot has made.
+func (r *Robot) Restocks() int { return r.restocks }
+
+// Router exposes the robot's router (the central manager role reuses it).
+func (r *Robot) Router() *netstack.Router { return r.router }
+
+// RadioID implements radio.Station.
+func (r *Robot) RadioID() radio.NodeID { return r.id }
+
+// RadioPos implements radio.Station.
+func (r *Robot) RadioPos() geom.Point { return r.Pos() }
+
+// RadioRange implements radio.Station.
+func (r *Robot) RadioRange() float64 { return r.cfg.Range }
+
+// RadioActive implements radio.Station. Robots never fail in the paper's
+// model; the resilience extension can kill them via FailNow.
+func (r *Robot) RadioActive() bool { return !r.failed }
+
+// Alive reports whether the robot is operational.
+func (r *Robot) Alive() bool { return !r.failed }
+
+// FailNow breaks the robot down where it stands (resilience extension):
+// it stops moving, abandons its queue, and falls silent. The paper's
+// model never calls this.
+func (r *Robot) FailNow() {
+	if r.failed {
+		return
+	}
+	r.settle(r.Pos())
+	r.sched.Cancel(r.arriveEv)
+	r.sched.Cancel(r.updateEv)
+	r.current = nil
+	r.queue = nil
+	r.failed = true
+}
+
+// Start attaches the robot to the medium and publishes its initial
+// location (sequence 1) after initDelay, so sensors can learn their
+// manager once the whole deployment is attached and announced.
+func (r *Robot) Start(initDelay sim.Duration) {
+	r.medium.Attach(r)
+	r.sched.After(initDelay, r.publish)
+}
+
+// HandleFrame implements radio.Station.
+func (r *Robot) HandleFrame(f radio.Frame) {
+	switch m := f.Payload.(type) {
+	case netstack.Packet:
+		r.router.Receive(m)
+	case netstack.FloodMsg:
+		// Robots hear each other's floods but do not relay them; only
+		// sensors disseminate location updates (§3.2–3.3).
+	case wire.Beacon, wire.LocationAnnounce, wire.GuardianConfirm:
+		// Robots ignore sensor chatter: their next hops come from radio
+		// range (see netstack.MediumSource).
+	default:
+		_ = m
+	}
+}
+
+// deliver handles packets addressed to this robot.
+func (r *Robot) deliver(p netstack.Packet) {
+	switch m := p.Payload.(type) {
+	case wire.FailureReport:
+		if r.hooks.OnReportReceived != nil {
+			r.hooks.OnReportReceived(m, p.Hops)
+		}
+		r.Enqueue(Task{Failed: m.Failed, Loc: m.Loc, EnqueuedAt: r.sched.Now()})
+	case wire.RepairRequest:
+		if r.hooks.OnRequestReceived != nil {
+			r.hooks.OnRequestReceived(m, p.Hops)
+		}
+		r.Enqueue(Task{Failed: m.Failed, Loc: m.Loc, EnqueuedAt: r.sched.Now()})
+	}
+}
+
+// Enqueue adds a repair task; the robot serves tasks first-come-first-
+// served (§3.1). Failed robots discard tasks.
+func (r *Robot) Enqueue(t Task) {
+	if r.failed {
+		return
+	}
+	if r.current != nil {
+		r.queue = append(r.queue, t)
+		return
+	}
+	r.begin(t)
+}
+
+func (r *Robot) begin(t Task) {
+	r.current = &t
+	start := r.Pos()
+	r.taskFrom = start
+	r.settle(start)
+	dest := t.Loc
+	if r.cargo == 0 {
+		// Out of replacement nodes: detour to the depot first.
+		r.restocking = true
+		dest = r.cfg.Depot
+	}
+	dist := start.Dist(dest)
+	if dist == 0 {
+		r.arrive()
+		return
+	}
+	r.dest = dest
+	r.moving = true
+	r.arriveEv = r.sched.After(sim.Duration(dist/r.cfg.Speed), r.arrive)
+	r.scheduleUpdate()
+}
+
+// settle fixes the robot's anchor at p with motion stopped.
+func (r *Robot) settle(p geom.Point) {
+	old := r.indexedPos
+	r.anchor = p
+	r.anchorTime = r.sched.Now()
+	r.moving = false
+	r.indexedPos = p
+	if !old.Eq(p) {
+		r.medium.Moved(r.id, old)
+	}
+}
+
+// scheduleUpdate arms the next 20 m location-update event for the current
+// leg.
+func (r *Robot) scheduleUpdate() {
+	remaining := r.Pos().Dist(r.dest)
+	if remaining <= r.cfg.UpdateThreshold {
+		return // arrival will publish
+	}
+	r.updateEv = r.sched.After(sim.Duration(r.cfg.UpdateThreshold/r.cfg.Speed), func() {
+		if !r.moving {
+			return
+		}
+		r.reindex()
+		r.publish()
+		r.scheduleUpdate()
+	})
+}
+
+// reindex pushes the robot's current interpolated position into the
+// medium's spatial index (staleness stays under the 20 m threshold, well
+// below the 63 m index cell, so range queries remain exact).
+func (r *Robot) reindex() {
+	old := r.indexedPos
+	r.indexedPos = r.Pos()
+	if !old.Eq(r.indexedPos) {
+		r.medium.Moved(r.id, old)
+	}
+}
+
+// publish disseminates the robot's current location via the algorithm's
+// update mode.
+func (r *Robot) publish() {
+	if r.failed {
+		return
+	}
+	r.seq++
+	load := len(r.queue)
+	if r.current != nil {
+		load++
+	}
+	up := wire.RobotUpdate{Robot: r.id, Loc: r.Pos(), Seq: r.seq, Load: load}
+	r.mode.Publish(r, up)
+	if r.hooks.OnPublish != nil {
+		r.hooks.OnPublish(r, up)
+	}
+}
+
+// arrive completes the current travel leg: a depot restock detour or the
+// task itself.
+func (r *Robot) arrive() {
+	t := r.current
+	if t == nil {
+		return
+	}
+	r.sched.Cancel(r.updateEv)
+	if r.restocking {
+		dist := r.taskFrom.Dist(r.cfg.Depot)
+		r.traveled += dist
+		r.settle(r.cfg.Depot)
+		r.publish()
+		r.restocking = false
+		r.cargo = r.cfg.Cargo
+		r.restocks++
+		r.medium.Metrics().Observe("restock_leg_m", dist)
+		// Resume the pending task from the depot.
+		task := *t
+		r.current = nil
+		r.begin(task)
+		return
+	}
+	dist := r.taskFrom.Dist(t.Loc)
+	r.traveled += dist
+	r.settle(t.Loc)
+	if r.cfg.ServiceTime > 0 {
+		r.sched.After(r.cfg.ServiceTime, func() { r.finish(*t, dist) })
+		return
+	}
+	r.finish(*t, dist)
+}
+
+func (r *Robot) finish(t Task, dist float64) {
+	if r.failed {
+		return // broke down during the service interval
+	}
+	if r.hooks.SpawnReplacement != nil {
+		r.hooks.SpawnReplacement(r, t.Loc)
+	}
+	if r.cargo > 0 {
+		r.cargo--
+	}
+	if r.hooks.OnTaskDone != nil {
+		r.hooks.OnTaskDone(r, t, dist, r.sched.Now().Sub(t.EnqueuedAt))
+	}
+	reg := r.medium.Metrics()
+	reg.Observe(metrics.SeriesTravelPerFailure, dist)
+	reg.Observe(metrics.SeriesRepairDelay, float64(r.sched.Now().Sub(t.EnqueuedAt)))
+	reg.Observe(metrics.SeriesQueueLength, float64(len(r.queue)))
+	r.current = nil
+	if len(r.queue) == 0 {
+		// Arrival update (§3: "After replacing a failed node, the
+		// maintainer robot may need to update the manager or some sensors
+		// with its new location") — published after completion so the
+		// Load field reflects the drained queue.
+		r.publish()
+		return
+	}
+	idx := 0
+	if r.cfg.Queue == NearestFirst {
+		here := r.Pos()
+		for i := 1; i < len(r.queue); i++ {
+			if r.queue[i].Loc.Dist2(here) < r.queue[idx].Loc.Dist2(here) {
+				idx = i
+			}
+		}
+	}
+	next := r.queue[idx]
+	r.queue = append(r.queue[:idx], r.queue[idx+1:]...)
+	r.begin(next)
+	r.publish() // arrival update, with the next task already counted in Load
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/rng"
+)
+
+// Deployment selects how the initial sensor population is placed. The
+// paper assumes uniform random placement; the other kinds are extensions
+// for studying how the coordination algorithms cope with non-uniform
+// fields (clusters create routing holes and uneven robot load).
+type Deployment int
+
+const (
+	// DeploymentUniform places sensors i.i.d. uniformly (paper default).
+	DeploymentUniform Deployment = iota
+	// DeploymentClustered places sensors by a Thomas cluster process:
+	// parents uniform, children Gaussian around parents.
+	DeploymentClustered
+	// DeploymentGrid places sensors on a jittered regular grid — the
+	// "planned deployment" best case for coverage.
+	DeploymentGrid
+)
+
+// String names the deployment.
+func (d Deployment) String() string {
+	switch d {
+	case DeploymentUniform:
+		return "uniform"
+	case DeploymentClustered:
+		return "clustered"
+	case DeploymentGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("Deployment(%d)", int(d))
+	}
+}
+
+// MarshalJSON encodes the deployment as its name.
+func (d Deployment) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON decodes a deployment name.
+func (d *Deployment) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "uniform":
+		*d = DeploymentUniform
+	case "clustered":
+		*d = DeploymentClustered
+	case "grid":
+		*d = DeploymentGrid
+	default:
+		return fmt.Errorf("scenario: unknown deployment %q", s)
+	}
+	return nil
+}
+
+// clusterStdDev is the Gaussian spread of children around a cluster
+// parent, sized so a cluster spans a few sensor hops.
+const clusterStdDev = 40.0
+
+// sensorsPerCluster controls how many children each Thomas-process parent
+// receives on average.
+const sensorsPerCluster = 10
+
+// placeSensors returns n sensor positions inside bounds per the kind.
+func placeSensors(kind Deployment, n int, bounds geom.Rect, src *rng.Source) []geom.Point {
+	switch kind {
+	case DeploymentClustered:
+		return placeClustered(n, bounds, src)
+	case DeploymentGrid:
+		return placeGrid(n, bounds, src)
+	default:
+		return placeUniform(n, bounds, src)
+	}
+}
+
+func placeUniform(n int, bounds geom.Rect, src *rng.Source) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(
+			src.Uniform(bounds.Min.X, bounds.Max.X),
+			src.Uniform(bounds.Min.Y, bounds.Max.Y),
+		)
+	}
+	return out
+}
+
+func placeClustered(n int, bounds geom.Rect, src *rng.Source) []geom.Point {
+	parents := (n + sensorsPerCluster - 1) / sensorsPerCluster
+	if parents < 1 {
+		parents = 1
+	}
+	centers := placeUniform(parents, bounds, src)
+	out := make([]geom.Point, n)
+	for i := range out {
+		c := centers[src.Intn(len(centers))]
+		p := geom.Pt(
+			src.Normal(c.X, clusterStdDev),
+			src.Normal(c.Y, clusterStdDev),
+		)
+		out[i] = bounds.Clamp(p)
+	}
+	return out
+}
+
+func placeGrid(n int, bounds geom.Rect, src *rng.Source) []geom.Point {
+	cols := int(math.Ceil(math.Sqrt(float64(n) * bounds.Width() / bounds.Height())))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	dx := bounds.Width() / float64(cols)
+	dy := bounds.Height() / float64(rows)
+	jitter := math.Min(dx, dy) / 4
+	out := make([]geom.Point, 0, n)
+	for r := 0; r < rows && len(out) < n; r++ {
+		for c := 0; c < cols && len(out) < n; c++ {
+			p := geom.Pt(
+				bounds.Min.X+(float64(c)+0.5)*dx+src.Uniform(-jitter, jitter),
+				bounds.Min.Y+(float64(r)+0.5)*dy+src.Uniform(-jitter, jitter),
+			)
+			out = append(out, bounds.Clamp(p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+// Package scenario assembles complete simulation runs: it builds the
+// world (field, sensors, robots, manager), wires the chosen coordination
+// algorithm, injects failures, runs the clock, and collects the metrics
+// the paper's figures report.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"roborepair/internal/core"
+	"roborepair/internal/failure"
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+	"roborepair/internal/radio"
+	"roborepair/internal/rng"
+	"roborepair/internal/sim"
+)
+
+// Config parameterizes one simulation run. DefaultConfig returns the
+// paper's §4.1 values.
+type Config struct {
+	// Algorithm selects the coordination algorithm.
+	Algorithm core.Algorithm `json:"algorithm"`
+	// Robots is the number of maintenance robots (the paper uses 4, 9, 16).
+	Robots int `json:"robots"`
+	// AreaPerRobotSide is the side of the square of field area allotted
+	// per robot; the total field is a square of side
+	// AreaPerRobotSide·√Robots (200 m in the paper).
+	AreaPerRobotSide float64 `json:"areaPerRobotSideM"`
+	// SensorsPerRobot is the sensor count per robot's worth of area (50).
+	SensorsPerRobot int `json:"sensorsPerRobot"`
+	// SensorRange is the sensor transmission range (63 m).
+	SensorRange float64 `json:"sensorRangeM"`
+	// RobotRange is the robot/manager transmission range (250 m).
+	RobotRange float64 `json:"robotRangeM"`
+	// RobotSpeed is the robot travel speed (1 m/s).
+	RobotSpeed float64 `json:"robotSpeedMps"`
+	// UpdateThreshold is the distance between robot location updates (20 m).
+	UpdateThreshold float64 `json:"updateThresholdM"`
+	// BeaconPeriod is the sensor heartbeat period (10 s).
+	BeaconPeriod float64 `json:"beaconPeriodS"`
+	// MissedBeacons declares failure after this many silent periods (3).
+	MissedBeacons int `json:"missedBeacons"`
+	// MeanLifetime is the sensors' expected lifetime (16000 s).
+	MeanLifetime float64 `json:"meanLifetimeS"`
+	// SimTime is the simulated horizon (64000 s).
+	SimTime float64 `json:"simTimeS"`
+	// Seed drives every random stream of the run.
+	Seed int64 `json:"seed"`
+	// Partition selects the fixed algorithm's subarea shape.
+	Partition geom.PartitionKind `json:"partition"`
+	// ServiceTime is the node-swap duration at the failure site (0).
+	ServiceTime float64 `json:"serviceTimeS"`
+	// LossP, when positive, drops each reception with this probability
+	// (robustness extension; the paper's medium is lossless).
+	LossP float64 `json:"lossP"`
+	// LifetimeShape, when not 1, switches the lifetime model to a Weibull
+	// with this shape (extension; 0 or 1 keeps the exponential).
+	LifetimeShape float64 `json:"lifetimeShape"`
+	// EfficientBroadcast enables the §4.3.2 relay-set optimization for the
+	// distributed algorithms' location-update floods (ABL-BCAST).
+	EfficientBroadcast bool `json:"efficientBroadcast"`
+	// NearestFirstQueue replaces the paper's FCFS robot queue with
+	// nearest-task-first scheduling (extension ablation).
+	NearestFirstQueue bool `json:"nearestFirstQueue"`
+	// TraceCapacity enables the causal event trace: >0 keeps that many
+	// events (FIFO), <0 keeps everything, 0 (default) records nothing.
+	TraceCapacity int `json:"traceCapacity"`
+	// Deployment selects how sensors are placed (uniform by default).
+	Deployment Deployment `json:"deployment"`
+	// SensingRange, when positive, enables sensing-coverage tracking: the
+	// covered field fraction is sampled periodically into the
+	// "coverage_fraction" series. The paper motivates replacement with
+	// coverage but does not fix a sensing radius; 20 m is a typical value
+	// at this density.
+	SensingRange float64 `json:"sensingRangeM"`
+	// CoverageSamplePeriod is the coverage sampling interval in seconds
+	// (default 1000 when SensingRange > 0).
+	CoverageSamplePeriod float64 `json:"coverageSamplePeriodS"`
+	// CargoCapacity limits how many replacement nodes a robot carries
+	// before restocking at the field-center depot (extension; 0 means
+	// unlimited, the paper's implicit assumption).
+	CargoCapacity int `json:"cargoCapacity"`
+	// MACContention enables the collision MAC model: frames take airtime
+	// (FrameBytes at BitrateMbps), start after a random backoff, and
+	// overlapping receptions collide. Off by default (ideal medium — the
+	// paper reports 100% delivery at this load anyway).
+	MACContention bool `json:"macContention"`
+	// BitrateMbps is the radio bitrate for the contention model
+	// (11 Mbit/s in the paper; 0 selects 11).
+	BitrateMbps float64 `json:"bitrateMbps"`
+	// FrameBytes is the nominal frame size for airtime computation
+	// (0 selects 128).
+	FrameBytes int `json:"frameBytes"`
+	// RobotFailures breaks down this many robots (lowest IDs first) at
+	// RobotFailureTime — the resilience extension. The paper's robots
+	// never fail.
+	RobotFailures int `json:"robotFailures"`
+	// RobotFailureTime is when the breakdowns happen (seconds).
+	RobotFailureTime float64 `json:"robotFailureTimeS"`
+	// ETADispatch switches the centralized manager to workload-aware
+	// shortest-ETA dispatch (future-work extension; the paper dispatches
+	// to the closest robot regardless of its queue).
+	ETADispatch bool `json:"etaDispatch"`
+}
+
+// DefaultConfig returns the paper's experimental parameters (§4.1) with
+// the dynamic algorithm and 4 robots.
+func DefaultConfig() Config {
+	return Config{
+		Algorithm:        core.Dynamic,
+		Robots:           4,
+		AreaPerRobotSide: 200,
+		SensorsPerRobot:  50,
+		SensorRange:      63,
+		RobotRange:       250,
+		RobotSpeed:       1,
+		UpdateThreshold:  20,
+		BeaconPeriod:     10,
+		MissedBeacons:    3,
+		MeanLifetime:     16000,
+		SimTime:          64000,
+		Seed:             1,
+		Partition:        geom.PartitionSquare,
+	}
+}
+
+// Validate reports the first invalid field of the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Algorithm != core.Centralized && c.Algorithm != core.Fixed && c.Algorithm != core.Dynamic:
+		return fmt.Errorf("scenario: invalid algorithm %v", c.Algorithm)
+	case c.Robots <= 0:
+		return fmt.Errorf("scenario: robots = %d, need ≥ 1", c.Robots)
+	case c.AreaPerRobotSide <= 0:
+		return fmt.Errorf("scenario: area side %v not positive", c.AreaPerRobotSide)
+	case c.SensorsPerRobot <= 0:
+		return fmt.Errorf("scenario: sensors per robot %d not positive", c.SensorsPerRobot)
+	case c.SensorRange <= 0 || c.RobotRange <= 0:
+		return fmt.Errorf("scenario: ranges must be positive")
+	case c.RobotSpeed <= 0:
+		return fmt.Errorf("scenario: robot speed %v not positive", c.RobotSpeed)
+	case c.UpdateThreshold <= 0:
+		return fmt.Errorf("scenario: update threshold %v not positive", c.UpdateThreshold)
+	case c.BeaconPeriod <= 0:
+		return fmt.Errorf("scenario: beacon period %v not positive", c.BeaconPeriod)
+	case c.MissedBeacons <= 0:
+		return fmt.Errorf("scenario: missed beacons %d not positive", c.MissedBeacons)
+	case c.MeanLifetime <= 0:
+		return fmt.Errorf("scenario: mean lifetime %v not positive", c.MeanLifetime)
+	case c.SimTime <= 0:
+		return fmt.Errorf("scenario: sim time %v not positive", c.SimTime)
+	case c.LossP < 0 || c.LossP >= 1:
+		return fmt.Errorf("scenario: loss probability %v outside [0,1)", c.LossP)
+	}
+	return nil
+}
+
+// FieldSide returns the side of the (square) field in meters.
+func (c Config) FieldSide() float64 {
+	return c.AreaPerRobotSide * math.Sqrt(float64(c.Robots))
+}
+
+// NumSensors returns the initial sensor population.
+func (c Config) NumSensors() int { return c.SensorsPerRobot * c.Robots }
+
+// Results aggregates one run's outcomes.
+type Results struct {
+	Config Config `json:"config"`
+
+	// Failure pipeline counts.
+	FailuresInjected  int `json:"failuresInjected"`
+	ReportsSent       int `json:"reportsSent"`
+	ReportsDelivered  int `json:"reportsDelivered"`
+	RequestsIssued    int `json:"requestsIssued"`
+	RequestsDelivered int `json:"requestsDelivered"`
+	Repairs           int `json:"repairs"`
+
+	// Figure 2: motion overhead.
+	AvgTravelPerFailure float64 `json:"avgTravelPerFailureM"`
+	TotalTravel         float64 `json:"totalTravelM"`
+
+	// Figure 3: messaging hops.
+	AvgReportHops  float64 `json:"avgReportHops"`
+	AvgRequestHops float64 `json:"avgRequestHops"`
+
+	// Figure 4: location-update transmissions per failure handled.
+	LocUpdateTx           uint64  `json:"locUpdateTx"`
+	LocUpdateTxPerFailure float64 `json:"locUpdateTxPerFailure"`
+
+	// Additional series.
+	AvgRepairDelay float64 `json:"avgRepairDelayS"`
+	RepairDelayP95 float64 `json:"repairDelayP95S"`
+
+	// Coverage (populated only when Config.SensingRange > 0).
+	MeanCoverage float64 `json:"meanCoverage"`
+	MinCoverage  float64 `json:"minCoverage"`
+
+	// Registry holds the full per-category accounting.
+	Registry *metrics.Registry `json:"-"`
+}
+
+// ReportDeliveryRatio returns delivered/sent failure reports (1 when no
+// reports were sent).
+func (r Results) ReportDeliveryRatio() float64 {
+	if r.ReportsSent == 0 {
+		return 1
+	}
+	return float64(r.ReportsDelivered) / float64(r.ReportsSent)
+}
+
+// RepairRatio returns repairs per injected failure.
+func (r Results) RepairRatio() float64 {
+	if r.FailuresInjected == 0 {
+		return 1
+	}
+	return float64(r.Repairs) / float64(r.FailuresInjected)
+}
+
+// Summary renders the headline numbers of a run.
+func (r Results) Summary() string {
+	return fmt.Sprintf(
+		"alg=%-11s robots=%-2d failures=%d reports=%d/%d repairs=%d "+
+			"travel/fail=%.1fm reportHops=%.2f requestHops=%.2f updateTx/fail=%.1f",
+		r.Config.Algorithm, r.Config.Robots,
+		r.FailuresInjected, r.ReportsDelivered, r.ReportsSent, r.Repairs,
+		r.AvgTravelPerFailure, r.AvgReportHops, r.AvgRequestHops,
+		r.LocUpdateTxPerFailure)
+}
+
+// lifetimeModel builds the configured mortality model.
+func (c Config) lifetimeModel(src *rng.Source) failure.LifetimeModel {
+	if c.LifetimeShape > 0 && c.LifetimeShape != 1 {
+		// Match the configured mean: mean of Weibull(λ,k) is λ·Γ(1+1/k).
+		scale := c.MeanLifetime / math.Gamma(1+1/c.LifetimeShape)
+		return &failure.Weibull{Scale: scale, Shape: c.LifetimeShape, Rand: src}
+	}
+	return &failure.Exponential{Mean: c.MeanLifetime, Rand: src}
+}
+
+// lossModel builds the configured medium loss model (nil when lossless).
+func (c Config) lossModel(src *rng.Source) radio.LossModel {
+	if c.LossP <= 0 {
+		return nil
+	}
+	return &radio.BernoulliLoss{P: c.LossP, Rand: src}
+}
+
+// contentionModel builds the optional MAC collision model.
+func (c Config) contentionModel(src *rng.Source) radio.ContentionConfig {
+	if !c.MACContention {
+		return radio.ContentionConfig{}
+	}
+	bitrate := c.BitrateMbps
+	if bitrate <= 0 {
+		bitrate = 11 // the paper's nominal 802.11 rate
+	}
+	bytes := c.FrameBytes
+	if bytes <= 0 {
+		bytes = 128
+	}
+	airtime := sim.Duration(float64(bytes*8) / (bitrate * 1e6))
+	return radio.ContentionConfig{
+		Airtime: airtime,
+		// A wide random-assessment-delay window: flood relays fire
+		// synchronously on reception, and hidden terminals make carrier
+		// sensing insufficient for a 10+-relay burst. ~100 ms of jitter
+		// (standard broadcast-storm mitigation) keeps the collision rate
+		// at the per-mille level while staying far below the 10 s beacon
+		// period.
+		MaxBackoff: airtime * 1024,
+		Rand:       src,
+	}
+}
+
+// initDelay is when robots and the manager announce themselves: after all
+// sensor location announcements (jittered within the first second).
+const initDelay sim.Duration = 2
+
+// settleDelay is when sensors pick their guardians: after the robot and
+// manager announcements.
+const settleDelay sim.Duration = 5

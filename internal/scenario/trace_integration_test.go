@@ -1,0 +1,390 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"roborepair/internal/core"
+	"roborepair/internal/sim"
+	"roborepair/internal/trace"
+)
+
+// TestTraceCausality runs a traced simulation and asserts the end-to-end
+// causal invariants of the failure-handling pipeline for every failure:
+//
+//  1. detection happens after failure, within the guardian timeout window
+//     plus one beacon period of slack;
+//  2. replacement happens after the report;
+//  3. the number of replacements matches the run's repair counter.
+func TestTraceCausality(t *testing.T) {
+	cfg := quickConfig(core.Dynamic, 4)
+	cfg.TraceCapacity = -1
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if w.Trace == nil {
+		t.Fatal("trace not enabled")
+	}
+	chains := w.Trace.Chains()
+	if len(chains) == 0 {
+		t.Fatal("no failure chains recorded")
+	}
+	if got := w.Trace.Count(trace.KindReplacement); got != res.Repairs {
+		t.Fatalf("trace replacements %d != repairs %d", got, res.Repairs)
+	}
+	if got := w.Trace.Count(trace.KindFailure); got != res.FailuresInjected {
+		t.Fatalf("trace failures %d != injected %d", got, res.FailuresInjected)
+	}
+
+	// Detection window: 3 missed beacons + 1 period of phase slack.
+	maxDetect := sim.Duration(cfg.BeaconPeriod) * sim.Duration(cfg.MissedBeacons+1)
+	reported, repaired := 0, 0
+	for _, c := range chains {
+		if c.Reported {
+			reported++
+			d := c.DetectionDelay()
+			if d < 0 {
+				t.Fatalf("node %v reported before failing (delay %v)", c.Failed, d)
+			}
+			if d > maxDetect+1 {
+				t.Fatalf("node %v detection took %v, window is %v", c.Failed, d, maxDetect)
+			}
+		}
+		if c.Repaired {
+			repaired++
+			if !c.Reported {
+				t.Fatalf("node %v repaired without a report", c.Failed)
+			}
+			if c.RepairAt < c.ReportAt {
+				t.Fatalf("node %v repaired at %v before report at %v",
+					c.Failed, c.RepairAt, c.ReportAt)
+			}
+		}
+	}
+	if reported == 0 || repaired == 0 {
+		t.Fatalf("pipeline inactive: reported=%d repaired=%d", reported, repaired)
+	}
+	// The overwhelming majority of failures complete the full chain.
+	if float64(repaired)/float64(len(chains)) < 0.85 {
+		t.Fatalf("only %d/%d chains completed", repaired, len(chains))
+	}
+}
+
+// TestTraceLocationUpdatesMatchRobotSeq checks that every robot publish is
+// traced.
+func TestTraceLocationUpdatesMatchRobotSeq(t *testing.T) {
+	cfg := quickConfig(core.Dynamic, 4)
+	cfg.SimTime = 4000
+	cfg.TraceCapacity = -1
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	var totalSeq uint64
+	for _, r := range w.Robots {
+		totalSeq += r.Seq()
+	}
+	if got := w.Trace.Count(trace.KindLocationUpdate); uint64(got) != totalSeq {
+		t.Fatalf("traced updates %d != sum of robot sequences %d", got, totalSeq)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	w, err := New(quickConfig(core.Dynamic, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Trace != nil {
+		t.Fatal("trace should be off by default")
+	}
+}
+
+func TestDeploymentKinds(t *testing.T) {
+	for _, d := range []Deployment{DeploymentUniform, DeploymentClustered, DeploymentGrid} {
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := quickConfig(core.Dynamic, 4)
+			cfg.Deployment = d
+			cfg.SimTime = 6000
+			w, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// All sensors inside the field.
+			side := cfg.FieldSide()
+			for _, s := range w.Sensors {
+				p := s.Pos()
+				if p.X < 0 || p.X > side || p.Y < 0 || p.Y > side {
+					t.Fatalf("sensor outside field: %v", p)
+				}
+			}
+			res := w.Run()
+			if res.Repairs == 0 {
+				t.Fatalf("%v deployment repaired nothing", d)
+			}
+		})
+	}
+}
+
+func TestDeploymentNames(t *testing.T) {
+	if DeploymentUniform.String() != "uniform" ||
+		DeploymentClustered.String() != "clustered" ||
+		DeploymentGrid.String() != "grid" {
+		t.Fatal("deployment names wrong")
+	}
+	if Deployment(9).String() == "" {
+		t.Fatal("unknown deployment should format")
+	}
+}
+
+func TestClusteredDeploymentIsClumpier(t *testing.T) {
+	// Clustered placement should have a smaller mean nearest-neighbor
+	// distance than uniform at equal density.
+	mnn := func(d Deployment) float64 {
+		cfg := quickConfig(core.Dynamic, 4)
+		cfg.Deployment = d
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, s := range w.Sensors {
+			best := -1.0
+			for _, o := range w.Sensors {
+				if o == s {
+					continue
+				}
+				if d := s.Pos().Dist(o.Pos()); best < 0 || d < best {
+					best = d
+				}
+			}
+			sum += best
+			n++
+		}
+		return sum / float64(n)
+	}
+	if c, u := mnn(DeploymentClustered), mnn(DeploymentUniform); c >= u {
+		t.Fatalf("clustered mnn %v should be below uniform %v", c, u)
+	}
+}
+
+func TestCoverageSampling(t *testing.T) {
+	cfg := quickConfig(core.Dynamic, 4)
+	cfg.SensingRange = 20
+	cfg.CoverageSamplePeriod = 500
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Registry.Series("coverage_fraction")
+	if cov.N() < 10 {
+		t.Fatalf("coverage samples = %d, want ≥10", cov.N())
+	}
+	if cov.Mean() <= 0.3 || cov.Mean() > 1 {
+		t.Fatalf("mean coverage %v implausible", cov.Mean())
+	}
+	// Robots keep replacing sensors, so coverage never collapses: the
+	// minimum stays near the mean.
+	if cov.Min() < cov.Mean()-0.15 {
+		t.Fatalf("coverage collapsed: min %v vs mean %v", cov.Min(), cov.Mean())
+	}
+}
+
+func TestCoverageDisabledByDefault(t *testing.T) {
+	res, err := Run(quickConfig(core.Dynamic, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Registry.Series("coverage_fraction").N() != 0 {
+		t.Fatal("coverage sampled without SensingRange")
+	}
+}
+
+func TestCargoCapacityIncreasesTotalTravel(t *testing.T) {
+	base := quickConfig(core.Dynamic, 4)
+	base.SimTime = 6000
+	unlimited, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited := base
+	limited.CargoCapacity = 1
+	lres, err := Run(limited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Repairs == 0 {
+		t.Fatal("cargo-limited run repaired nothing")
+	}
+	// Every repair forces a depot round trip: total travel must rise.
+	if lres.TotalTravel <= unlimited.TotalTravel {
+		t.Fatalf("cargo limit did not increase travel: %v vs %v",
+			lres.TotalTravel, unlimited.TotalTravel)
+	}
+	if lres.Registry.Series("restock_leg_m").N() == 0 {
+		t.Fatal("no restock legs recorded")
+	}
+}
+
+func TestMACContentionAtPaperLoad(t *testing.T) {
+	cfg := quickConfig(core.Dynamic, 4)
+	cfg.SimTime = 6000
+	cfg.MACContention = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the paper's traffic load the MAC barely matters: delivery stays
+	// high and the repair pipeline works.
+	if res.ReportDeliveryRatio() < 0.9 {
+		t.Fatalf("delivery %.3f under contention; collisions=%d",
+			res.ReportDeliveryRatio(), res.Registry.Tx("collision"))
+	}
+	if res.Repairs == 0 {
+		t.Fatal("no repairs under contention")
+	}
+	// Collisions occur but affect a tiny fraction of transmissions.
+	collisions := float64(res.Registry.Tx("collision"))
+	total := float64(res.Registry.TotalTx())
+	if collisions/total > 0.05 {
+		t.Fatalf("collision fraction %.4f too high for this load", collisions/total)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = core.Fixed
+	cfg.Deployment = DeploymentClustered
+	cfg.CargoCapacity = 3
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"algorithm":"fixed"`) {
+		t.Fatalf("algorithm not stringly encoded: %s", data)
+	}
+	if !strings.Contains(string(data), `"deployment":"clustered"`) {
+		t.Fatalf("deployment not stringly encoded: %s", data)
+	}
+	if !strings.Contains(string(data), `"partition":"square"`) {
+		t.Fatalf("partition not stringly encoded: %s", data)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", cfg, back)
+	}
+}
+
+func TestResultsJSONOmitsRegistry(t *testing.T) {
+	res, err := Run(quickConfig(core.Dynamic, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "Registry") {
+		t.Fatal("registry leaked into JSON")
+	}
+	if !strings.Contains(string(data), `"repairs"`) {
+		t.Fatalf("repairs missing: %s", data)
+	}
+}
+
+// TestRobotFailureResilience kills one of four robots mid-run and compares
+// the algorithms' degradation: the dynamic algorithm reassigns the dead
+// robot's region to survivors via its Voronoi adoption, while the fixed
+// algorithm's orphaned subarea keeps reporting to a dead robot.
+func TestRobotFailureResilience(t *testing.T) {
+	run := func(alg core.Algorithm) Results {
+		cfg := quickConfig(alg, 4)
+		cfg.SimTime = 16000
+		cfg.RobotFailures = 1
+		cfg.RobotFailureTime = 4000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dyn := run(core.Dynamic)
+	fx := run(core.Fixed)
+	if dyn.RepairRatio() <= fx.RepairRatio() {
+		t.Fatalf("dynamic should degrade more gracefully: dynamic %.3f vs fixed %.3f",
+			dyn.RepairRatio(), fx.RepairRatio())
+	}
+	// The fixed algorithm loses roughly its dead robot's quarter of the
+	// post-failure workload.
+	if fx.RepairRatio() > 0.95 {
+		t.Fatalf("fixed repair ratio %.3f suspiciously high with a dead robot", fx.RepairRatio())
+	}
+	// The dynamic algorithm recovers gradually: sensors in the dead
+	// robot's cell switch to survivors only as the survivors' repair
+	// trips bring their location floods into the orphaned region, so the
+	// reconquest takes time — it stays ahead of fixed but below the
+	// no-failure level.
+	if dyn.RepairRatio() < 0.75 {
+		t.Fatalf("dynamic repair ratio %.3f too low", dyn.RepairRatio())
+	}
+}
+
+func TestRepairDelayHistogram(t *testing.T) {
+	res, err := Run(quickConfig(core.Dynamic, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Registry.Hist(HistRepairDelay)
+	if h == nil || h.N() != res.Repairs {
+		t.Fatalf("histogram samples %v vs repairs %d", h, res.Repairs)
+	}
+	if res.RepairDelayP95 <= res.AvgRepairDelay {
+		t.Fatalf("p95 %v should exceed the mean %v", res.RepairDelayP95, res.AvgRepairDelay)
+	}
+}
+
+// TestETADispatchTradesLocalityForBalance documents a negative-result
+// ablation that supports the paper's design: replacing the closest-robot
+// dispatch with a workload-aware shortest-ETA rule makes things WORSE at
+// the paper's load. Shipping a failure to a far idle robot instead of a
+// near busy one inflates travel (travel is the service time in a spatial
+// system), which raises utilization and feeds back into even more remote
+// dispatches. The paper's myopic-but-local rule wins.
+func TestETADispatchTradesLocalityForBalance(t *testing.T) {
+	run := func(eta bool) Results {
+		cfg := quickConfig(core.Centralized, 4)
+		cfg.SimTime = 16000
+		cfg.MeanLifetime = 8000 // higher load so queues actually form
+		cfg.ETADispatch = eta
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	closest := run(false)
+	etaRes := run(true)
+	if closest.Repairs == 0 || etaRes.Repairs == 0 {
+		t.Fatal("no repairs")
+	}
+	// The locality loss is visible directly in the travel metric.
+	if etaRes.AvgTravelPerFailure <= closest.AvgTravelPerFailure {
+		t.Fatalf("expected ETA dispatch to lose locality: travel %.1f vs %.1f",
+			etaRes.AvgTravelPerFailure, closest.AvgTravelPerFailure)
+	}
+	// And the paper's rule delivers the better repair delay.
+	if closest.AvgRepairDelay >= etaRes.AvgRepairDelay {
+		t.Fatalf("closest dispatch should win on delay: %.0f vs %.0f",
+			closest.AvgRepairDelay, etaRes.AvgRepairDelay)
+	}
+	t.Logf("travel: closest=%.1fm eta=%.1fm; delay: %.0fs vs %.0fs",
+		closest.AvgTravelPerFailure, etaRes.AvgTravelPerFailure,
+		closest.AvgRepairDelay, etaRes.AvgRepairDelay)
+}

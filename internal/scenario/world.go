@@ -1,0 +1,368 @@
+package scenario
+
+import (
+	"fmt"
+
+	"roborepair/internal/core"
+	"roborepair/internal/coverage"
+	"roborepair/internal/failure"
+	"roborepair/internal/geom"
+	"roborepair/internal/metrics"
+	"roborepair/internal/node"
+	"roborepair/internal/radio"
+	"roborepair/internal/rng"
+	"roborepair/internal/robot"
+	"roborepair/internal/sim"
+	"roborepair/internal/trace"
+	"roborepair/internal/wire"
+)
+
+// World is a fully wired simulation ready to run. Build one with New, run
+// it with Run, then read Results.
+type World struct {
+	Cfg       Config
+	Sched     *sim.Scheduler
+	Medium    *radio.Medium
+	Registry  *metrics.Registry
+	Sensors   map[radio.NodeID]*node.Sensor
+	Robots    []*robot.Robot
+	Manager   *core.Manager // nil except for the centralized algorithm
+	Partition *geom.Partition
+	Injector  *failure.Injector
+	Trace     *trace.Log // non-nil only when Config.TraceCapacity != 0
+
+	nextID radio.NodeID
+	policy node.Policy
+
+	// counters, incremented by hooks (see below); trace records lifecycle
+	// events when enabled.
+
+	// counters, incremented by hooks
+	failuresInjected  int
+	reportsSent       int
+	reportsDelivered  int
+	requestsIssued    int
+	requestsDelivered int
+	repairs           int
+}
+
+// New builds a world from the configuration.
+func New(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler()
+	reg := metrics.NewRegistry()
+	medium := radio.NewMedium(sched, reg, radio.Config{
+		CellSize:   cfg.SensorRange,
+		Loss:       cfg.lossModel(rng.Split(cfg.Seed, "loss")),
+		Contention: cfg.contentionModel(rng.Split(cfg.Seed, "mac")),
+	})
+	w := &World{
+		Cfg:      cfg,
+		Sched:    sched,
+		Medium:   medium,
+		Registry: reg,
+		Sensors:  make(map[radio.NodeID]*node.Sensor, cfg.NumSensors()),
+		nextID:   1,
+	}
+	w.Injector = failure.NewInjector(sched, cfg.lifetimeModel(rng.Split(cfg.Seed, "lifetimes")))
+	if cfg.TraceCapacity != 0 {
+		w.Trace = trace.New(cfg.TraceCapacity)
+		w.Injector.OnKill = func(n failure.Failable) {
+			if s, ok := n.(*node.Sensor); ok {
+				w.Trace.Record(trace.Event{
+					At: sched.Now(), Kind: trace.KindFailure,
+					Node: s.ID(), Loc: s.Pos(),
+				})
+			}
+		}
+	}
+
+	side := cfg.FieldSide()
+	bounds := geom.Square(geom.Pt(0, 0), side)
+
+	part, err := geom.NewPartition(cfg.Partition, bounds, cfg.Robots)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	w.Partition = part
+
+	// Reserve robot and manager IDs before sensors so replacement sensors
+	// can keep growing the ID space monotonically.
+	robotIDs := make([]radio.NodeID, cfg.Robots)
+	for i := range robotIDs {
+		robotIDs[i] = radio.NodeID(i + 1)
+	}
+	managerID := radio.NodeID(cfg.Robots + 1)
+	w.nextID = radio.NodeID(cfg.Robots + 2)
+
+	// Algorithm wiring: sensor policy and robot update mode.
+	var mode robot.UpdateMode
+	switch cfg.Algorithm {
+	case core.Centralized:
+		center := bounds.Center()
+		w.policy = core.CentralizedPolicy{ManagerID: managerID}
+		mode = core.CentralizedUpdate{ManagerID: managerID, ManagerLoc: center}
+		w.Manager = core.NewManager(managerID, center, cfg.RobotRange, medium, core.ManagerHooks{
+			OnReportReceived: func(rep wire.FailureReport, hops int) {
+				w.reportsDelivered++
+				reg.Observe(metrics.SeriesReportHops, float64(hops))
+				w.trace(trace.Event{
+					At: sched.Now(), Kind: trace.KindReportDelivered,
+					Node: rep.Failed, Actor: managerID, Loc: rep.Loc,
+				})
+			},
+			OnRequestIssued: func(req wire.RepairRequest, to radio.NodeID) {
+				w.requestsIssued++
+				w.trace(trace.Event{
+					At: sched.Now(), Kind: trace.KindDispatch,
+					Node: req.Failed, Actor: to, Loc: req.Loc,
+				})
+			},
+		})
+	case core.Fixed:
+		home := make(map[radio.NodeID]int, cfg.Robots)
+		for i, id := range robotIDs {
+			home[id] = i
+		}
+		w.policy = core.FixedPolicy{Partition: part, Home: home}
+		mode = core.FloodUpdate{}
+	case core.Dynamic:
+		w.policy = core.DynamicPolicy{}
+		mode = core.FloodUpdate{}
+	}
+
+	// Deploy the initial sensor population.
+	deploy := rng.Split(cfg.Seed, "deploy")
+	jitter := rng.Split(cfg.Seed, "jitter")
+	for _, pos := range placeSensors(cfg.Deployment, cfg.NumSensors(), bounds, deploy) {
+		w.spawnSensor(pos, jitter, false, 0, geom.Point{})
+	}
+
+	// Deploy robots: at subarea centers for the fixed algorithm ("the
+	// robots first move to the centers of their corresponding subareas"),
+	// uniformly at random otherwise.
+	robotHooks := robot.Hooks{
+		SpawnReplacement: w.spawnReplacement,
+		OnTaskDone: func(r *robot.Robot, t robot.Task, _ float64, delay sim.Duration) {
+			w.repairs++
+			// 30 s buckets cover 0..2 h of repair delay; the tail beyond
+			// that reports exactly via overflow.
+			reg.Histogram(HistRepairDelay, 30, 240).Add(float64(delay))
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindReplacement,
+				Node: t.Failed, Actor: r.ID(), Loc: t.Loc,
+			})
+		},
+		OnReportReceived: func(rep wire.FailureReport, hops int) {
+			w.reportsDelivered++
+			reg.Observe(metrics.SeriesReportHops, float64(hops))
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindReportDelivered,
+				Node: rep.Failed, Loc: rep.Loc,
+			})
+		},
+		OnRequestReceived: func(req wire.RepairRequest, hops int) {
+			w.requestsDelivered++
+			reg.Observe(metrics.SeriesRequestHops, float64(hops))
+		},
+		OnPublish: func(r *robot.Robot, up wire.RobotUpdate) {
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindLocationUpdate,
+				Node: r.ID(), Actor: r.ID(), Loc: up.Loc,
+			})
+		},
+	}
+	rcfg := robot.Config{
+		Speed:           cfg.RobotSpeed,
+		Range:           cfg.RobotRange,
+		UpdateThreshold: cfg.UpdateThreshold,
+		ServiceTime:     sim.Duration(cfg.ServiceTime),
+	}
+	if cfg.NearestFirstQueue {
+		rcfg.Queue = robot.NearestFirst
+	}
+	if cfg.CargoCapacity > 0 {
+		rcfg.Cargo = cfg.CargoCapacity
+		rcfg.Depot = bounds.Center()
+	}
+	for i, id := range robotIDs {
+		var pos geom.Point
+		if cfg.Algorithm == core.Fixed {
+			pos = part.Centers[i]
+		} else {
+			pos = geom.Pt(deploy.Uniform(0, side), deploy.Uniform(0, side))
+		}
+		r := robot.New(id, pos, rcfg, mode, medium, robotHooks)
+		w.Robots = append(w.Robots, r)
+		r.Start(initDelay)
+		if w.Manager != nil {
+			// The manager also learns robot locations from their init
+			// unicasts; priming the table mirrors the paper's
+			// initialization step 2 and covers the (rare) case of a lost
+			// registration packet.
+			w.Manager.TrackRobot(id, pos)
+		}
+	}
+	if w.Manager != nil {
+		if cfg.ETADispatch {
+			w.Manager.SetDispatchPolicy(core.DispatchShortestETA)
+		}
+		w.Manager.Start(initDelay)
+	}
+	if cfg.SensingRange > 0 {
+		w.startCoverageSampling(bounds)
+	}
+	if cfg.RobotFailures > 0 {
+		n := cfg.RobotFailures
+		if n > len(w.Robots) {
+			n = len(w.Robots)
+		}
+		at := sim.Time(cfg.RobotFailureTime)
+		sched.After(at.Sub(sched.Now()), func() {
+			for i := 0; i < n; i++ {
+				w.Robots[i].FailNow()
+			}
+		})
+	}
+	return w, nil
+}
+
+// startCoverageSampling periodically records the covered field fraction.
+func (w *World) startCoverageSampling(bounds geom.Rect) {
+	period := w.Cfg.CoverageSamplePeriod
+	if period <= 0 {
+		period = 1000
+	}
+	// ~2 probes per sensing radius in each axis.
+	probes := int(bounds.Width()/w.Cfg.SensingRange*2) + 1
+	est := coverage.NewEstimator(bounds, w.Cfg.SensingRange, probes, probes)
+	sample := func() {
+		alive := make([]geom.Point, 0, len(w.Sensors))
+		for _, s := range w.Sensors {
+			if s.Alive() {
+				alive = append(alive, s.Pos())
+			}
+		}
+		w.Registry.Observe(metrics.SeriesCoverage, est.Fraction(alive))
+	}
+	if _, err := w.Sched.NewTicker(sim.Duration(period), sim.Duration(period), sample); err != nil {
+		// Unreachable: period is forced positive above.
+		panic(err)
+	}
+}
+
+// trace records an event when tracing is enabled.
+func (w *World) trace(e trace.Event) {
+	if w.Trace != nil {
+		w.Trace.Record(e)
+	}
+}
+
+// sensorConfig derives the node.Config from the scenario configuration.
+func (w *World) sensorConfig() node.Config {
+	return node.Config{
+		Range:              w.Cfg.SensorRange,
+		BeaconPeriod:       sim.Duration(w.Cfg.BeaconPeriod),
+		MissedBeacons:      w.Cfg.MissedBeacons,
+		SettleDelay:        settleDelay,
+		FloodTTL:           core.FloodTTL,
+		EfficientBroadcast: w.Cfg.EfficientBroadcast,
+	}
+}
+
+// spawnSensor creates, registers, arms, and boots one sensor. For
+// replacements, target/targetLoc seed the new node's report destination.
+func (w *World) spawnSensor(pos geom.Point, jitter *rng.Source, replacement bool, target radio.NodeID, targetLoc geom.Point) *node.Sensor {
+	id := w.nextID
+	w.nextID++
+	s := node.NewSensor(id, pos, w.sensorConfig(), w.policy, w.Medium, node.Hooks{
+		OnReportSent: func(rep wire.FailureReport) {
+			w.reportsSent++
+			w.trace(trace.Event{
+				At: w.Sched.Now(), Kind: trace.KindReportSent,
+				Node: rep.Failed, Actor: rep.Reporter, Loc: rep.Loc,
+			})
+		},
+	})
+	if replacement {
+		s.SetTarget(target, targetLoc)
+	}
+	w.Sensors[id] = s
+	w.Injector.Arm(s)
+	announce := sim.Duration(jitter.Uniform(0.05, 1.0))
+	if replacement {
+		announce = 0
+	}
+	s.Start(announce, sim.Duration(jitter.Jitter(w.Cfg.BeaconPeriod)), replacement)
+	return s
+}
+
+// spawnReplacement implements robot.Hooks.SpawnReplacement.
+func (w *World) spawnReplacement(r *robot.Robot, loc geom.Point) radio.NodeID {
+	var target radio.NodeID
+	var targetLoc geom.Point
+	if w.Manager != nil {
+		target, targetLoc = w.Manager.ID(), w.Manager.Pos()
+	} else {
+		target, targetLoc = r.ID(), r.Pos()
+	}
+	s := w.spawnSensor(loc, rng.Split(w.Cfg.Seed, "respawn-jitter"), true, target, targetLoc)
+	return s.ID()
+}
+
+// Run executes the simulation to the configured horizon and returns the
+// collected results.
+func (w *World) Run() Results {
+	// Count natural failures as they are injected: every sensor armed by
+	// the injector that dies within the horizon.
+	w.Sched.Run(sim.Time(w.Cfg.SimTime))
+	w.failuresInjected = w.Injector.Killed()
+	return w.results()
+}
+
+func (w *World) results() Results {
+	reg := w.Registry
+	res := Results{
+		Config:            w.Cfg,
+		FailuresInjected:  w.failuresInjected,
+		ReportsSent:       w.reportsSent,
+		ReportsDelivered:  w.reportsDelivered,
+		RequestsIssued:    w.requestsIssued,
+		RequestsDelivered: w.requestsDelivered,
+		Repairs:           w.repairs,
+		Registry:          reg,
+	}
+	res.AvgTravelPerFailure = reg.Series(metrics.SeriesTravelPerFailure).Mean()
+	res.AvgReportHops = reg.Series(metrics.SeriesReportHops).Mean()
+	res.AvgRequestHops = reg.Series(metrics.SeriesRequestHops).Mean()
+	res.AvgRepairDelay = reg.Series(metrics.SeriesRepairDelay).Mean()
+	if h := reg.Hist(HistRepairDelay); h != nil {
+		res.RepairDelayP95 = h.Quantile(0.95)
+	}
+	if cov := reg.Series(metrics.SeriesCoverage); cov.N() > 0 {
+		res.MeanCoverage = cov.Mean()
+		res.MinCoverage = cov.Min()
+	}
+	for _, r := range w.Robots {
+		res.TotalTravel += r.Traveled()
+	}
+	res.LocUpdateTx = reg.Tx(metrics.CatLocUpdate)
+	if w.repairs > 0 {
+		res.LocUpdateTxPerFailure = float64(res.LocUpdateTx) / float64(w.repairs)
+	}
+	return res
+}
+
+// HistRepairDelay is the registry name of the repair-delay histogram.
+const HistRepairDelay = "repair_delay_hist"
+
+// Run is the one-call entry point: build a world from cfg and run it.
+func Run(cfg Config) (Results, error) {
+	w, err := New(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return w.Run(), nil
+}

@@ -1,0 +1,258 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock measured in seconds (type Time) and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in scheduling order, which makes every run with the same inputs fully
+// reproducible. All simulated subsystems (radio medium, sensor beaconing,
+// robot motion, coordination algorithms) are driven from a single Scheduler.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual simulation timestamp in seconds since the start of the
+// run. Virtual time is unrelated to wall-clock time: a 64000 s simulation
+// completes in milliseconds of real time.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// TimeZero is the start of every simulation.
+const TimeZero Time = 0
+
+// TimeInf sorts after every reachable event time.
+var TimeInf = Time(math.Inf(1))
+
+// Seconds reports the timestamp as a plain float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Add returns the timestamp d seconds after t.
+func (t Time) Add(d Duration) Time { return t + d }
+
+// Sub returns the span between t and u (t − u).
+func (t Time) Sub(u Time) Duration { return t - u }
+
+// String formats the timestamp with millisecond resolution.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// ErrTimeInPast is returned when an event is scheduled before the current
+// virtual time.
+var ErrTimeInPast = errors.New("sim: event scheduled in the past")
+
+// Event is a cancellable handle to a scheduled callback.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index, -1 when not queued
+	fn    func()
+}
+
+// At reports the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the virtual clock and the pending event queue.
+//
+// A Scheduler is not safe for concurrent use; the whole simulation is
+// single-threaded by design so that runs are deterministic.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	fired   uint64
+	stopped bool
+}
+
+// NewScheduler returns a scheduler with the clock at TimeZero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending reports the number of events still queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired reports the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at the absolute virtual time at.
+func (s *Scheduler) At(at Time, fn func()) (*Event, error) {
+	if at < s.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrTimeInPast, at, s.now)
+	}
+	ev := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn to run d seconds from now. A non-positive delay fires
+// at the current instant, after all callbacks already queued for it.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, err := s.At(s.now.Add(d), fn)
+	if err != nil {
+		// Unreachable: now+d >= now for d >= 0.
+		panic(err)
+	}
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling a nil, already-fired, or
+// already-cancelled event is a no-op and reports false.
+func (s *Scheduler) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, ev.index)
+	ev.fn = nil
+	return true
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&s.queue).(*Event)
+	if !ok {
+		return false
+	}
+	s.now = ev.at
+	s.fired++
+	if ev.fn != nil {
+		ev.fn()
+	}
+	return true
+}
+
+// Run executes events until no events remain or the next event is strictly
+// after until; the clock is left at min(until, last event time). It returns
+// the number of events executed.
+func (s *Scheduler) Run(until Time) uint64 {
+	s.stopped = false
+	var n uint64
+	for len(s.queue) > 0 && !s.stopped {
+		if s.queue[0].at > until {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll executes every pending event, including events scheduled by the
+// events themselves, and returns the count executed.
+func (s *Scheduler) RunAll() uint64 {
+	s.stopped = false
+	var n uint64
+	for len(s.queue) > 0 && !s.stopped {
+		s.Step()
+		n++
+	}
+	return n
+}
+
+// Stop makes the active Run/RunAll return after the current event finishes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Ticker fires a callback at a fixed period until stopped.
+type Ticker struct {
+	s      *Scheduler
+	period Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period seconds, first firing at now+offset.
+// Period must be positive.
+func (s *Scheduler) NewTicker(offset, period Duration, fn func()) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: ticker period %v not positive", period)
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	if offset < 0 {
+		offset = 0
+	}
+	t.ev = s.After(offset, t.tick)
+	return t, nil
+}
+
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	t.fn()
+	if !t.stop {
+		t.ev = t.s.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels all future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.s.Cancel(t.ev)
+}
+
+// Active reports whether the ticker will fire again.
+func (t *Ticker) Active() bool { return !t.stop }

@@ -1,0 +1,37 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"roborepair/internal/trace"
+)
+
+// Reconstruct a failure's lifecycle from recorded events.
+func ExampleLog_ChainFor() {
+	log := trace.New(-1)
+	log.Record(trace.Event{At: 100, Kind: trace.KindFailure, Node: 7})
+	log.Record(trace.Event{At: 125, Kind: trace.KindReportSent, Node: 7, Actor: 3})
+	log.Record(trace.Event{At: 210, Kind: trace.KindReplacement, Node: 7, Actor: 50})
+
+	c, ok := log.ChainFor(7)
+	fmt.Println("found:", ok)
+	fmt.Println("detection delay:", c.DetectionDelay())
+	fmt.Println("repair delay:", c.RepairDelay())
+	// Output:
+	// found: true
+	// detection delay: 25.000s
+	// repair delay: 110.000s
+}
+
+// Count events by kind without retaining every record.
+func ExampleLog_Count() {
+	log := trace.New(2) // tiny ring buffer
+	for i := 0; i < 5; i++ {
+		log.Record(trace.Event{At: 1, Kind: trace.KindLocationUpdate, Node: 9})
+	}
+	fmt.Println("retained:", log.Len())
+	fmt.Println("counted:", log.Count(trace.KindLocationUpdate))
+	// Output:
+	// retained: 2
+	// counted: 5
+}

@@ -1,0 +1,141 @@
+// Package viz renders simulation state as ASCII field maps — a quick look
+// at where the sensors, holes, and robots are without leaving the
+// terminal. Used by the fieldwatch example and handy in test failures.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"roborepair/internal/geom"
+)
+
+// Glyphs used by the world renderer, in increasing z-order (later glyphs
+// overwrite earlier ones in the same cell).
+const (
+	GlyphEmpty   = '·'
+	GlyphSensor  = 'o'
+	GlyphDead    = 'x'
+	GlyphRobot   = 'R'
+	GlyphManager = 'M'
+)
+
+// Canvas rasterizes points in a bounded field onto a character grid.
+type Canvas struct {
+	cols, rows int
+	bounds     geom.Rect
+	cells      [][]rune
+	zorder     map[rune]int
+}
+
+// NewCanvas returns a cols×rows canvas mapping the given field bounds.
+// Dimensions are clamped to at least 1×1.
+func NewCanvas(cols, rows int, bounds geom.Rect) *Canvas {
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	cells := make([][]rune, rows)
+	for i := range cells {
+		cells[i] = make([]rune, cols)
+		for j := range cells[i] {
+			cells[i][j] = GlyphEmpty
+		}
+	}
+	return &Canvas{
+		cols:   cols,
+		rows:   rows,
+		bounds: bounds,
+		cells:  cells,
+		// A replacement node is deployed at its dead predecessor's exact
+		// location, so an alive sensor outranks a dead marker in the same
+		// cell: an 'x' on the map is a hole that is still open.
+		zorder: map[rune]int{
+			GlyphEmpty:   0,
+			GlyphDead:    1,
+			GlyphSensor:  2,
+			GlyphRobot:   3,
+			GlyphManager: 4,
+		},
+	}
+}
+
+// cell maps a field point to grid coordinates; ok is false outside bounds.
+func (c *Canvas) cell(p geom.Point) (col, row int, ok bool) {
+	if !c.bounds.Contains(p) {
+		return 0, 0, false
+	}
+	w, h := c.bounds.Width(), c.bounds.Height()
+	if w <= 0 || h <= 0 {
+		return 0, 0, false
+	}
+	col = int((p.X - c.bounds.Min.X) / w * float64(c.cols))
+	row = int((p.Y - c.bounds.Min.Y) / h * float64(c.rows))
+	if col >= c.cols {
+		col = c.cols - 1
+	}
+	if row >= c.rows {
+		row = c.rows - 1
+	}
+	return col, row, true
+}
+
+// Plot draws glyph at the cell containing p. Glyphs with higher z-order
+// win collisions; unknown glyphs always overwrite.
+func (c *Canvas) Plot(p geom.Point, glyph rune) {
+	col, row, ok := c.cell(p)
+	if !ok {
+		return
+	}
+	cur := c.cells[row][col]
+	curZ, curKnown := c.zorder[cur]
+	newZ, newKnown := c.zorder[glyph]
+	if curKnown && newKnown && newZ < curZ {
+		return
+	}
+	c.cells[row][col] = glyph
+}
+
+// Glyph returns the glyph at the cell containing p (GlyphEmpty outside).
+func (c *Canvas) Glyph(p geom.Point) rune {
+	col, row, ok := c.cell(p)
+	if !ok {
+		return GlyphEmpty
+	}
+	return c.cells[row][col]
+}
+
+// String renders the canvas with the Y axis pointing up (row 0 of the
+// field at the bottom, as on a map).
+func (c *Canvas) String() string {
+	var b strings.Builder
+	for row := c.rows - 1; row >= 0; row-- {
+		b.WriteString(string(c.cells[row]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Legend returns a one-line explanation of the world glyphs.
+func Legend() string {
+	return fmt.Sprintf("%c sensor  %c failed  %c robot  %c manager",
+		GlyphSensor, GlyphDead, GlyphRobot, GlyphManager)
+}
+
+// Station is the minimal view of a plottable simulation entity.
+type Station struct {
+	Loc   geom.Point
+	Glyph rune
+}
+
+// Render draws a full field snapshot: every station onto a canvas sized
+// cols×rows over bounds.
+func Render(bounds geom.Rect, cols, rows int, stations []Station) string {
+	canvas := NewCanvas(cols, rows, bounds)
+	for _, s := range stations {
+		canvas.Plot(s.Loc, s.Glyph)
+	}
+	return canvas.String()
+}

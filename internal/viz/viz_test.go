@@ -1,0 +1,116 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"roborepair/internal/geom"
+)
+
+func TestCanvasPlotAndRender(t *testing.T) {
+	c := NewCanvas(10, 10, geom.Square(geom.Pt(0, 0), 100))
+	c.Plot(geom.Pt(5, 5), GlyphSensor)  // bottom-left cell
+	c.Plot(geom.Pt(95, 95), GlyphRobot) // top-right cell
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	// Y axis points up: the robot (y=95) is on the first printed line.
+	if !strings.ContainsRune(lines[0], GlyphRobot) {
+		t.Fatalf("robot not on top line:\n%s", out)
+	}
+	if !strings.ContainsRune(lines[9], GlyphSensor) {
+		t.Fatalf("sensor not on bottom line:\n%s", out)
+	}
+}
+
+func TestCanvasZOrder(t *testing.T) {
+	c := NewCanvas(4, 4, geom.Square(geom.Pt(0, 0), 100))
+	p := geom.Pt(10, 10)
+	c.Plot(p, GlyphRobot)
+	c.Plot(p, GlyphSensor) // lower z-order: must not overwrite
+	if got := c.Glyph(p); got != GlyphRobot {
+		t.Fatalf("glyph = %c, robot should win", got)
+	}
+	c.Plot(p, GlyphManager) // higher z-order wins
+	if got := c.Glyph(p); got != GlyphManager {
+		t.Fatalf("glyph = %c, manager should win", got)
+	}
+}
+
+func TestCanvasAliveSensorCoversDeadMarker(t *testing.T) {
+	// A replacement node sits at its predecessor's location: the cell
+	// must read as covered, not as a hole.
+	c := NewCanvas(4, 4, geom.Square(geom.Pt(0, 0), 100))
+	p := geom.Pt(50, 50)
+	c.Plot(p, GlyphDead)
+	c.Plot(p, GlyphSensor)
+	if got := c.Glyph(p); got != GlyphSensor {
+		t.Fatalf("glyph = %c, alive sensor should cover dead marker", got)
+	}
+	// And the reverse order gives the same result.
+	c2 := NewCanvas(4, 4, geom.Square(geom.Pt(0, 0), 100))
+	c2.Plot(p, GlyphSensor)
+	c2.Plot(p, GlyphDead)
+	if got := c2.Glyph(p); got != GlyphSensor {
+		t.Fatalf("glyph = %c after reverse order", got)
+	}
+}
+
+func TestCanvasOutOfBoundsIgnored(t *testing.T) {
+	c := NewCanvas(4, 4, geom.Square(geom.Pt(0, 0), 100))
+	c.Plot(geom.Pt(-5, 50), GlyphRobot)
+	c.Plot(geom.Pt(50, 150), GlyphRobot)
+	if strings.ContainsRune(c.String(), GlyphRobot) {
+		t.Fatal("out-of-bounds plot rendered")
+	}
+	if c.Glyph(geom.Pt(-5, 50)) != GlyphEmpty {
+		t.Fatal("out-of-bounds glyph should read empty")
+	}
+}
+
+func TestCanvasBoundaryPointsClamp(t *testing.T) {
+	c := NewCanvas(4, 4, geom.Square(geom.Pt(0, 0), 100))
+	c.Plot(geom.Pt(100, 100), GlyphRobot) // exactly on the max corner
+	if !strings.ContainsRune(c.String(), GlyphRobot) {
+		t.Fatal("max-corner point dropped")
+	}
+}
+
+func TestCanvasMinimumSize(t *testing.T) {
+	c := NewCanvas(0, -3, geom.Square(geom.Pt(0, 0), 10))
+	c.Plot(geom.Pt(5, 5), GlyphSensor)
+	if got := c.String(); got != string(GlyphSensor)+"\n" {
+		t.Fatalf("1x1 canvas = %q", got)
+	}
+}
+
+func TestRenderHelper(t *testing.T) {
+	out := Render(geom.Square(geom.Pt(0, 0), 100), 5, 5, []Station{
+		{Loc: geom.Pt(50, 50), Glyph: GlyphRobot},
+		{Loc: geom.Pt(10, 10), Glyph: GlyphDead},
+	})
+	if !strings.ContainsRune(out, GlyphRobot) || !strings.ContainsRune(out, GlyphDead) {
+		t.Fatalf("render missing stations:\n%s", out)
+	}
+}
+
+func TestLegendMentionsAllGlyphs(t *testing.T) {
+	l := Legend()
+	for _, g := range []rune{GlyphSensor, GlyphDead, GlyphRobot, GlyphManager} {
+		if !strings.ContainsRune(l, g) {
+			t.Fatalf("legend missing %c: %s", g, l)
+		}
+	}
+}
+
+func TestUnknownGlyphAlwaysOverwrites(t *testing.T) {
+	c := NewCanvas(4, 4, geom.Square(geom.Pt(0, 0), 100))
+	p := geom.Pt(50, 50)
+	c.Plot(p, GlyphManager)
+	c.Plot(p, '?')
+	if got := c.Glyph(p); got != '?' {
+		t.Fatalf("glyph = %c, unknown glyph should overwrite", got)
+	}
+}

@@ -1,0 +1,69 @@
+// Package wire defines the application-level message bodies exchanged by
+// sensors, robots, and managers. Bodies travel either as raw one-hop
+// frames (beacons, announcements), as geographically routed packets
+// (failure reports, repair requests), or inside controlled floods (robot
+// location updates).
+package wire
+
+import (
+	"roborepair/internal/geom"
+	"roborepair/internal/radio"
+	"roborepair/internal/sim"
+)
+
+// Beacon is the periodic one-hop heartbeat every sensor sends for failure
+// detection; it carries the sender's location so receivers can maintain
+// neighbor tables.
+type Beacon struct {
+	From radio.NodeID
+	Loc  geom.Point
+}
+
+// LocationAnnounce is a one-hop location broadcast: sensors send it once
+// during initialization, replacement nodes send it when deployed, and
+// robots send it alongside their location updates so nearby sensors can
+// deliver failure messages to them.
+type LocationAnnounce struct {
+	From radio.NodeID
+	Loc  geom.Point
+	// Replacement marks the boot broadcast of a freshly deployed node,
+	// which prompts neighbors to answer with beacons (§4.2(a)).
+	Replacement bool
+}
+
+// GuardianConfirm establishes the guardian–guardee relationship: the
+// sender (guardee) asks the addressee to guard it.
+type GuardianConfirm struct {
+	From radio.NodeID
+	Loc  geom.Point
+}
+
+// FailureReport travels from the detecting guardian to the manager (or
+// directly to "myrobot" in the distributed algorithms).
+type FailureReport struct {
+	Failed     radio.NodeID
+	Loc        geom.Point
+	Reporter   radio.NodeID
+	DetectedAt sim.Time
+}
+
+// RepairRequest is forwarded by the central manager to the maintenance
+// robot chosen for a failure.
+type RepairRequest struct {
+	Failed   radio.NodeID
+	Loc      geom.Point
+	IssuedAt sim.Time
+}
+
+// RobotUpdate announces a robot's new location. In the centralized
+// algorithm it is unicast to the manager; in the distributed algorithms it
+// is the payload of a controlled flood.
+type RobotUpdate struct {
+	Robot radio.NodeID
+	Loc   geom.Point
+	Seq   uint64
+	// Load is the robot's outstanding repair workload (current task plus
+	// queued tasks) at publish time. The paper's manager ignores it; the
+	// ETA-dispatch extension uses it to avoid piling work on a busy robot.
+	Load int
+}

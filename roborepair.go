@@ -1,0 +1,80 @@
+// Package roborepair simulates sensor-replacement in large static
+// wireless sensor networks maintained by a small team of mobile robots,
+// reproducing Mei, Xian, Das, Hu and Lu, "Replacing Failed Sensor Nodes by
+// Mobile Robots" (ICDCS Workshops 2006).
+//
+// Sensors guard each other with periodic beacons; when a guardian detects
+// a failed guardee it reports the failure over geographic routing to a
+// manager, which dispatches a maintenance robot to replace the node. The
+// package implements the paper's three coordination algorithms —
+// Centralized, Fixed (static subareas), and Dynamic (implicit Voronoi
+// cells) — on top of a from-scratch packet-level wireless simulation.
+//
+// Quickstart:
+//
+//	cfg := roborepair.DefaultConfig()
+//	cfg.Algorithm = roborepair.Dynamic
+//	cfg.Robots = 9
+//	res, err := roborepair.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Summary())
+package roborepair
+
+import (
+	"roborepair/internal/core"
+	"roborepair/internal/figures"
+	"roborepair/internal/geom"
+	"roborepair/internal/scenario"
+)
+
+// Re-exported simulation types. Config parameterizes a run; Results
+// carries its outcomes; World is a built simulation ready to run (use it
+// when you need access to the sensors/robots, e.g. to inject bursts).
+type (
+	// Config parameterizes one simulation run.
+	Config = scenario.Config
+	// Results aggregates one run's outcomes.
+	Results = scenario.Results
+	// World is a fully wired simulation.
+	World = scenario.World
+	// Algorithm selects a coordination algorithm.
+	Algorithm = core.Algorithm
+	// PartitionKind selects the fixed algorithm's subarea shape.
+	PartitionKind = geom.PartitionKind
+)
+
+// The three coordination algorithms of the paper.
+const (
+	// Centralized is the central-manager algorithm (§3.1).
+	Centralized = core.Centralized
+	// Fixed is the fixed distributed manager algorithm (§3.2).
+	Fixed = core.Fixed
+	// Dynamic is the dynamic distributed manager algorithm (§3.3).
+	Dynamic = core.Dynamic
+)
+
+// Subarea partition shapes for the Fixed algorithm.
+const (
+	// PartitionSquare tiles the field with equal squares (paper default).
+	PartitionSquare = geom.PartitionSquare
+	// PartitionHex uses a hexagonal lattice (the §4.3.1 ablation).
+	PartitionHex = geom.PartitionHex
+)
+
+// PaperRobotCounts are the robot counts of the paper's experiments.
+var PaperRobotCounts = figures.PaperRobotCounts
+
+// DefaultConfig returns the paper's §4.1 experimental parameters.
+func DefaultConfig() Config { return scenario.DefaultConfig() }
+
+// Run builds a world from cfg, simulates it to the horizon, and returns
+// the collected results.
+func Run(cfg Config) (Results, error) { return scenario.Run(cfg) }
+
+// NewWorld builds a simulation without running it, for callers that need
+// to inspect or perturb the world (burst failures, custom metrics).
+func NewWorld(cfg Config) (*World, error) { return scenario.New(cfg) }
+
+// ParseAlgorithm converts "centralized", "fixed", or "dynamic" into an
+// Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }

@@ -1,0 +1,69 @@
+package roborepair_test
+
+import (
+	"testing"
+
+	"roborepair"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := roborepair.DefaultConfig()
+	cfg.Algorithm = roborepair.Fixed
+	cfg.Partition = roborepair.PartitionSquare
+	cfg.Robots = 4
+	cfg.SimTime = 4000
+	res, err := roborepair.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repairs == 0 {
+		t.Fatalf("no repairs: %s", res.Summary())
+	}
+	if res.Config.Algorithm != roborepair.Fixed {
+		t.Fatal("config not echoed in results")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"centralized", "fixed", "dynamic"} {
+		alg, err := roborepair.ParseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", name, err)
+		}
+		if alg.String() != name {
+			t.Fatalf("round trip %q → %q", name, alg.String())
+		}
+	}
+	if _, err := roborepair.ParseAlgorithm("bogus"); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+func TestNewWorldExposesPopulation(t *testing.T) {
+	cfg := roborepair.DefaultConfig()
+	cfg.Robots = 4
+	cfg.SimTime = 1000
+	w, err := roborepair.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Robots) != 4 || len(w.Sensors) != 200 {
+		t.Fatalf("population wrong: %d robots, %d sensors", len(w.Robots), len(w.Sensors))
+	}
+	res := w.Run()
+	if res.FailuresInjected < 0 {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestPaperRobotCounts(t *testing.T) {
+	want := []int{4, 9, 16}
+	if len(roborepair.PaperRobotCounts) != len(want) {
+		t.Fatalf("PaperRobotCounts = %v", roborepair.PaperRobotCounts)
+	}
+	for i, v := range want {
+		if roborepair.PaperRobotCounts[i] != v {
+			t.Fatalf("PaperRobotCounts = %v, want %v", roborepair.PaperRobotCounts, want)
+		}
+	}
+}
