@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures validate examples clean
+.PHONY: all build test vet race bench bench-smoke figures validate examples clean
 
 all: build vet test
 
@@ -13,12 +13,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
+
+# Full test suite under the race detector — the parallel experiment
+# engine's correctness gate.
+race:
+	$(GO) test -race ./...
 
 # Short-horizon benches: one per paper figure cell plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast allocation check on the hot-path benchmarks only (seconds, not
+# minutes): scheduler churn, medium broadcast, end-to-end throughput.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerChurn|BenchmarkMediumBroadcast$$|BenchmarkMediumUnicast' -benchtime 1000x ./internal/sim ./internal/radio
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput' -benchtime 2x .
 
 # Regenerate the paper's figures at the full 64000 s horizon (minutes).
 figures:

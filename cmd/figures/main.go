@@ -22,6 +22,7 @@ import (
 	"roborepair/internal/core"
 	"roborepair/internal/figures"
 	"roborepair/internal/report"
+	"roborepair/internal/runner"
 )
 
 func main() {
@@ -37,11 +38,24 @@ func run(args []string) error {
 	simtime := fs.Float64("simtime", 64000, "simulated seconds per run")
 	seeds := fs.Int("seeds", 1, "number of seeds averaged per cell")
 	robotsFlag := fs.String("robots", "4,9,16", "comma-separated robot counts")
+	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	quiet := fs.Bool("q", false, "suppress per-run progress lines")
+	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	prof, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		}
+	}()
 
 	base := roborepair.DefaultConfig()
 	base.SimTime = *simtime
@@ -54,9 +68,13 @@ func run(args []string) error {
 	for i := range seedList {
 		seedList[i] = int64(i + 1)
 	}
-	progress := func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	opts := figures.RunOptions{
+		Procs:    *procs,
+		Progress: func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
+		OnStats:  func(s runner.Stats) { fmt.Fprintln(os.Stderr, "  "+s.String()) },
+	}
 	if *quiet {
-		progress = nil
+		opts.Progress = nil
 	}
 	emit := func(t *report.Table) {
 		if *csv {
@@ -68,7 +86,7 @@ func run(args []string) error {
 
 	switch *fig {
 	case "2", "3", "4", "all":
-		grid, err := figures.RunGrid(base, figures.AllAlgorithms, robots, seedList, progress)
+		grid, err := figures.RunGrid(base, figures.AllAlgorithms, robots, seedList, opts)
 		if err != nil {
 			return err
 		}
@@ -86,26 +104,26 @@ func run(args []string) error {
 			emit(grid.SummaryTable())
 		}
 	case "hex":
-		t, err := figures.AblationHex(base, robots, seedList, progress)
+		t, err := figures.AblationHex(base, robots, seedList, opts)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	case "bcast":
-		t, err := figures.AblationBroadcast(base, robots, seedList, progress)
+		t, err := figures.AblationBroadcast(base, robots, seedList, opts)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	case "threshold":
 		t, err := figures.ThresholdSweep(base, core.Dynamic, robots[0],
-			[]float64{5, 10, 20, 40, 60}, seedList)
+			[]float64{5, 10, 20, 40, 60}, seedList, opts)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	case "coverage":
-		t, err := figures.CoverageComparison(base, robots[0], seedList, progress)
+		t, err := figures.CoverageComparison(base, robots[0], seedList, opts)
 		if err != nil {
 			return err
 		}

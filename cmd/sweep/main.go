@@ -8,6 +8,7 @@
 //	sweep -param threshold -values 5,10,20,40
 //	sweep -param loss -values 0,0.05,0.1,0.2
 //	sweep -param density -values 25,50,100
+//	sweep -seeds 8 -procs 4       # parallel grid, identical CSV to -procs 1
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"roborepair"
+	"roborepair/internal/runner"
 )
 
 func main() {
@@ -27,6 +29,12 @@ func main() {
 	}
 }
 
+// cell tags a job with the swept parameter value; algorithm and seed are
+// already part of the job's config.
+type cell struct {
+	value float64
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	param := fs.String("param", "robots", "robots|cargo|sensing|lifetime|threshold|loss|density")
@@ -34,6 +42,10 @@ func run(args []string) error {
 	algsFlag := fs.String("algs", "centralized,fixed,dynamic", "algorithms to sweep")
 	simtime := fs.Float64("simtime", 16000, "simulated seconds per run")
 	seeds := fs.Int("seeds", 1, "seeds per configuration")
+	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print engine throughput to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,8 +63,17 @@ func run(args []string) error {
 		algs = append(algs, a)
 	}
 
-	fmt.Println("algorithm,param,value,seed,failures,reports_delivered,repairs," +
-		"travel_per_failure_m,report_hops,request_hops,update_tx_per_failure,repair_delay_s")
+	prof, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+	}()
+
+	var jobs []runner.Job
 	for _, alg := range algs {
 		for _, v := range vals {
 			for seed := int64(1); seed <= int64(*seeds); seed++ {
@@ -63,17 +84,28 @@ func run(args []string) error {
 				if err := apply(&cfg, *param, v); err != nil {
 					return err
 				}
-				res, err := roborepair.Run(cfg)
-				if err != nil {
-					return err
-				}
-				fmt.Printf("%s,%s,%g,%d,%d,%d,%d,%.2f,%.3f,%.3f,%.2f,%.1f\n",
-					alg, *param, v, seed,
-					res.FailuresInjected, res.ReportsDelivered, res.Repairs,
-					res.AvgTravelPerFailure, res.AvgReportHops, res.AvgRequestHops,
-					res.LocUpdateTxPerFailure, res.AvgRepairDelay)
+				jobs = append(jobs, runner.Job{Config: cfg, Tag: cell{value: v}})
 			}
 		}
+	}
+
+	results, st, err := runner.Run(jobs, runner.Options{Procs: *procs})
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, st.String())
+	}
+
+	fmt.Println("algorithm,param,value,seed,failures,reports_delivered,repairs," +
+		"travel_per_failure_m,report_hops,request_hops,update_tx_per_failure,repair_delay_s")
+	for _, r := range results {
+		res := r.Res
+		fmt.Printf("%s,%s,%g,%d,%d,%d,%d,%.2f,%.3f,%.3f,%.2f,%.1f\n",
+			r.Job.Config.Algorithm, *param, r.Job.Tag.(cell).value, r.Job.Config.Seed,
+			res.FailuresInjected, res.ReportsDelivered, res.Repairs,
+			res.AvgTravelPerFailure, res.AvgReportHops, res.AvgRequestHops,
+			res.LocUpdateTxPerFailure, res.AvgRepairDelay)
 	}
 	return nil
 }

@@ -2,7 +2,8 @@
 // models of internal/analysis and prints a PASS/FAIL row per invariant.
 // It is the fast "is this reproduction sane?" gate — each check compares
 // an end-to-end simulated quantity with geometric probability, renewal
-// theory, or queueing theory.
+// theory, or queueing theory. With -seeds > 1 the simulated quantities
+// are averaged over independent seeds, tightening the comparison.
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"roborepair"
 	"roborepair/internal/analysis"
 	"roborepair/internal/report"
+	"roborepair/internal/runner"
 )
 
 func main() {
@@ -37,60 +39,100 @@ func (c check) pass() bool {
 	return math.Abs(c.simulated-c.predicted)/c.predicted <= c.tolerance
 }
 
+// algAvg holds the per-algorithm quantities the invariants consume,
+// averaged over the seed list.
+type algAvg struct {
+	failures      float64
+	travel        float64
+	reportHops    float64
+	deliveryRatio float64
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
 	simtime := fs.Float64("simtime", 16000, "simulated seconds per run")
 	robots := fs.Int("robots", 9, "maintenance robots")
-	seed := fs.Int64("seed", 1, "random seed")
+	seed := fs.Int64("seed", 1, "first random seed")
+	seeds := fs.Int("seeds", 1, "seeds averaged per algorithm")
+	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print engine throughput to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *seeds < 1 {
+		*seeds = 1
+	}
+
+	prof, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "validate:", err)
+		}
+	}()
 
 	base := roborepair.DefaultConfig()
 	base.SimTime = *simtime
 	base.Robots = *robots
-	base.Seed = *seed
 
-	runAlg := func(alg roborepair.Algorithm) (roborepair.Results, error) {
-		cfg := base
-		cfg.Algorithm = alg
-		return roborepair.Run(cfg)
+	algs := []roborepair.Algorithm{roborepair.Dynamic, roborepair.Fixed, roborepair.Centralized}
+	var jobs []runner.Job
+	for _, alg := range algs {
+		for s := int64(0); s < int64(*seeds); s++ {
+			cfg := base
+			cfg.Algorithm = alg
+			cfg.Seed = *seed + s
+			jobs = append(jobs, runner.Job{Config: cfg})
+		}
 	}
-	dyn, err := runAlg(roborepair.Dynamic)
+	results, st, err := runner.Run(jobs, runner.Options{Procs: *procs})
 	if err != nil {
 		return err
 	}
-	fx, err := runAlg(roborepair.Fixed)
-	if err != nil {
-		return err
+	if *stats {
+		fmt.Fprintln(os.Stderr, st.String())
 	}
-	ce, err := runAlg(roborepair.Centralized)
-	if err != nil {
-		return err
+
+	avg := make(map[roborepair.Algorithm]algAvg, len(algs))
+	for _, r := range results {
+		a := avg[r.Job.Config.Algorithm]
+		n := float64(*seeds)
+		a.failures += float64(r.Res.FailuresInjected) / n
+		a.travel += r.Res.AvgTravelPerFailure / n
+		a.reportHops += r.Res.AvgReportHops / n
+		a.deliveryRatio += r.Res.ReportDeliveryRatio() / n
+		avg[r.Job.Config.Algorithm] = a
 	}
+	dyn := avg[roborepair.Dynamic]
+	fx := avg[roborepair.Fixed]
+	ce := avg[roborepair.Centralized]
 
 	checks := []check{
 		{
 			name:      "failures ≈ N·H/T (renewal theory)",
-			simulated: float64(dyn.FailuresInjected),
+			simulated: dyn.failures,
 			predicted: analysis.ExpectedFailures(base.NumSensors(), base.MeanLifetime, base.SimTime),
 			tolerance: 0.20,
 		},
 		{
 			name:      "dynamic travel ≈ nearest-of-k robots",
-			simulated: dyn.AvgTravelPerFailure,
+			simulated: dyn.travel,
 			predicted: analysis.ExpectedNearestOfK(base.FieldSide(), base.Robots),
 			tolerance: 0.25,
 		},
 		{
 			name:      "fixed travel ≈ uniform pair distance in subarea",
-			simulated: fx.AvgTravelPerFailure,
+			simulated: fx.travel,
 			predicted: analysis.ExpectedPairDist(base.AreaPerRobotSide),
 			tolerance: 0.25,
 		},
 		{
 			name:      "centralized report hops ≈ dist-to-center / hop progress",
-			simulated: ce.AvgReportHops,
+			simulated: ce.reportHops,
 			predicted: analysis.ExpectedHops(
 				analysis.ExpectedDistToCenter(base.FieldSide()),
 				base.SensorRange, base.SensorRange),
@@ -98,13 +140,13 @@ func run(args []string) error {
 		},
 		{
 			name:      "distributed report hops ≈ 2 (paper §4.3.2)",
-			simulated: dyn.AvgReportHops,
+			simulated: dyn.reportHops,
 			predicted: 2,
 			tolerance: 0.5,
 		},
 		{
 			name:      "report delivery ratio ≈ 1 (paper: 100%)",
-			simulated: dyn.ReportDeliveryRatio(),
+			simulated: dyn.deliveryRatio,
 			predicted: 1,
 			tolerance: 0.05,
 		},

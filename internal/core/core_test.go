@@ -49,7 +49,7 @@ type coreRig struct {
 func newCoreRig() *coreRig {
 	sched := sim.NewScheduler()
 	reg := metrics.NewRegistry()
-	return &coreRig{sched: sched, reg: reg, medium: radio.NewMedium(sched, reg, radio.Config{CellSize: 63})}
+	return &coreRig{sched: sched, reg: reg, medium: mustMedium(sched, reg, radio.Config{CellSize: 63})}
 }
 
 func (g *coreRig) sensor(id radio.NodeID, pos geom.Point, p node.Policy) *node.Sensor {
@@ -429,4 +429,13 @@ func TestManagerETADispatchPrefersIdleRobot(t *testing.T) {
 	if closestTo != 50 {
 		t.Fatalf("closest dispatch chose %v, want nearest robot 50", closestTo)
 	}
+}
+
+// mustMedium builds a medium for a config that cannot fail validation.
+func mustMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg radio.Config) *radio.Medium {
+	m, err := radio.NewMedium(sched, reg, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

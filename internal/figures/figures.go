@@ -13,8 +13,43 @@ import (
 	"roborepair/internal/geom"
 	"roborepair/internal/metrics"
 	"roborepair/internal/report"
+	"roborepair/internal/runner"
 	"roborepair/internal/scenario"
 )
+
+// RunOptions controls how a figure's grid of simulations executes. The
+// zero value runs on every available core with no progress reporting.
+type RunOptions struct {
+	// Procs is the parallel worker count; ≤ 0 selects GOMAXPROCS.
+	Procs int
+	// Progress, when non-nil, receives one line per completed run (in
+	// completion order).
+	Progress func(string)
+	// OnStats, when non-nil, receives the engine's aggregate throughput
+	// statistics after each grid completes.
+	OnStats func(runner.Stats)
+}
+
+// run executes a prepared job list under the options.
+func (o RunOptions) run(jobs []runner.Job) ([]runner.Result, error) {
+	var onResult func(runner.Result)
+	if o.Progress != nil {
+		progress := o.Progress
+		onResult = func(r runner.Result) {
+			if r.Err == nil {
+				progress(r.Res.Summary())
+			}
+		}
+	}
+	results, stats, err := runner.Run(jobs, runner.Options{Procs: o.Procs, OnResult: onResult})
+	if err != nil {
+		return nil, err
+	}
+	if o.OnStats != nil {
+		o.OnStats(stats)
+	}
+	return results, nil
+}
 
 // PaperRobotCounts are the maintenance-robot counts of the paper's
 // experiments ("we run experiments with 4, 9, and 16 robots").
@@ -94,26 +129,34 @@ func key(a core.Algorithm, robots int) string {
 // Cell returns the cell for (a, robots), or nil when absent.
 func (g *Grid) Cell(a core.Algorithm, robots int) *Cell { return g.cells[key(a, robots)] }
 
-// RunGrid executes every (algorithm × robots × seed) combination. progress,
-// when non-nil, receives one line per completed run.
-func RunGrid(base scenario.Config, algs []core.Algorithm, robots []int, seeds []int64, progress func(string)) (*Grid, error) {
+// RunGrid executes every (algorithm × robots × seed) combination on the
+// parallel engine. Cell contents are collected in stable (alg, robots,
+// seed) order, so the tables are identical whatever the worker count.
+func RunGrid(base scenario.Config, algs []core.Algorithm, robots []int, seeds []int64, opts RunOptions) (*Grid, error) {
 	g := &Grid{Base: base, Robots: robots, Algs: algs, cells: make(map[string]*Cell)}
+	var jobs []runner.Job
 	for _, alg := range algs {
 		for _, n := range robots {
-			cell := &Cell{Algorithm: alg, Robots: n}
 			for _, seed := range seeds {
 				cfg := base
 				cfg.Algorithm = alg
 				cfg.Robots = n
 				cfg.Seed = seed
-				res, err := scenario.Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("run %s/%d seed %d: %w", alg, n, seed, err)
-				}
-				cell.Runs = append(cell.Runs, res)
-				if progress != nil {
-					progress(res.Summary())
-				}
+				jobs = append(jobs, runner.Job{Config: cfg})
+			}
+		}
+	}
+	results, err := opts.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, alg := range algs {
+		for _, n := range robots {
+			cell := &Cell{Algorithm: alg, Robots: n}
+			for range seeds {
+				cell.Runs = append(cell.Runs, results[i].Res)
+				i++
 			}
 			g.cells[key(alg, n)] = cell
 		}
@@ -223,30 +266,38 @@ func (g *Grid) SummaryTable() *report.Table {
 // AblationHex compares square and hexagonal partitions for the fixed
 // algorithm (§4.3.1: "other partition methods (e.g., hexagon partition)
 // show negligible difference in the overheads").
-func AblationHex(base scenario.Config, robots []int, seeds []int64, progress func(string)) (*report.Table, error) {
+func AblationHex(base scenario.Config, robots []int, seeds []int64, opts RunOptions) (*report.Table, error) {
 	t := report.NewTable(
 		"Ablation — fixed algorithm, square vs hexagonal partition",
 		"robots", "square_travel_m", "hex_travel_m", "square_update_tx", "hex_update_tx")
+	kinds := []geom.PartitionKind{geom.PartitionSquare, geom.PartitionHex}
+	var jobs []runner.Job
 	for _, n := range robots {
-		var cells [2]*Cell
-		for i, kind := range []geom.PartitionKind{geom.PartitionSquare, geom.PartitionHex} {
-			cell := &Cell{Algorithm: core.Fixed, Robots: n}
+		for _, kind := range kinds {
 			for _, seed := range seeds {
 				cfg := base
 				cfg.Algorithm = core.Fixed
 				cfg.Robots = n
 				cfg.Seed = seed
 				cfg.Partition = kind
-				res, err := scenario.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				cell.Runs = append(cell.Runs, res)
-				if progress != nil {
-					progress(fmt.Sprintf("%s partition: %s", kind, res.Summary()))
-				}
+				jobs = append(jobs, runner.Job{Config: cfg})
 			}
-			cells[i] = cell
+		}
+	}
+	results, err := opts.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, n := range robots {
+		var cells [2]*Cell
+		for k := range kinds {
+			cell := &Cell{Algorithm: core.Fixed, Robots: n}
+			for range seeds {
+				cell.Runs = append(cell.Runs, results[i].Res)
+				i++
+			}
+			cells[k] = cell
 		}
 		t.AddRow(report.I(n),
 			report.F1(cells[0].Travel()), report.F1(cells[1].Travel()),
@@ -257,29 +308,40 @@ func AblationHex(base scenario.Config, robots []int, seeds []int64, progress fun
 
 // AblationBroadcast compares blind flooding against the §4.3.2 efficient
 // broadcast for both distributed algorithms.
-func AblationBroadcast(base scenario.Config, robots []int, seeds []int64, progress func(string)) (*report.Table, error) {
+func AblationBroadcast(base scenario.Config, robots []int, seeds []int64, opts RunOptions) (*report.Table, error) {
 	t := report.NewTable(
 		"Ablation — location-update flood: blind vs efficient broadcast (update tx / failure)",
 		"robots", "fixed_blind", "fixed_efficient", "dynamic_blind", "dynamic_efficient")
+	algs := []core.Algorithm{core.Fixed, core.Dynamic}
+	modes := []bool{false, true}
+	var jobs []runner.Job
 	for _, n := range robots {
-		vals := make(map[string]float64, 4)
-		for _, alg := range []core.Algorithm{core.Fixed, core.Dynamic} {
-			for _, efficient := range []bool{false, true} {
-				cell := &Cell{Algorithm: alg, Robots: n}
+		for _, alg := range algs {
+			for _, efficient := range modes {
 				for _, seed := range seeds {
 					cfg := base
 					cfg.Algorithm = alg
 					cfg.Robots = n
 					cfg.Seed = seed
 					cfg.EfficientBroadcast = efficient
-					res, err := scenario.Run(cfg)
-					if err != nil {
-						return nil, err
-					}
-					cell.Runs = append(cell.Runs, res)
-					if progress != nil {
-						progress(fmt.Sprintf("efficient=%v: %s", efficient, res.Summary()))
-					}
+					jobs = append(jobs, runner.Job{Config: cfg})
+				}
+			}
+		}
+	}
+	results, err := opts.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, n := range robots {
+		vals := make(map[string]float64, 4)
+		for _, alg := range algs {
+			for _, efficient := range modes {
+				cell := &Cell{Algorithm: alg, Robots: n}
+				for range seeds {
+					cell.Runs = append(cell.Runs, results[i].Res)
+					i++
 				}
 				vals[fmt.Sprintf("%s/%v", alg, efficient)] = cell.UpdateTx()
 			}
@@ -295,7 +357,7 @@ func AblationBroadcast(base scenario.Config, robots []int, seeds []int64, progre
 // maintains sensing coverage — by comparing a maintained network against
 // one whose robots all break down at the start (so failures accumulate
 // unrepaired). Uses a 20 m sensing radius.
-func CoverageComparison(base scenario.Config, robots int, seeds []int64, progress func(string)) (*report.Table, error) {
+func CoverageComparison(base scenario.Config, robots int, seeds []int64, opts RunOptions) (*report.Table, error) {
 	t := report.NewTable(
 		"Coverage maintenance — robots vs unmaintained decay (sensing radius 20 m)",
 		"configuration", "mean_coverage", "min_coverage", "repairs")
@@ -312,24 +374,30 @@ func CoverageComparison(base scenario.Config, robots int, seeds []int64, progres
 			c.RobotFailureTime = 0
 		}},
 	}
+	var jobs []runner.Job
 	for _, v := range variants {
-		var mean, minv, repairs float64
 		for _, seed := range seeds {
 			cfg := base
 			cfg.Robots = robots
 			cfg.Seed = seed
 			cfg.SensingRange = 20
 			v.mut(&cfg)
-			res, err := scenario.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, runner.Job{Config: cfg, Tag: v.name})
+		}
+	}
+	results, err := opts.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, v := range variants {
+		var mean, minv, repairs float64
+		for range seeds {
+			res := results[i].Res
+			i++
 			mean += res.MeanCoverage
 			minv += res.MinCoverage
 			repairs += float64(res.Repairs)
-			if progress != nil {
-				progress(fmt.Sprintf("%s: coverage mean %.3f min %.3f", v.name, res.MeanCoverage, res.MinCoverage))
-			}
 		}
 		n := float64(len(seeds))
 		t.AddRow(v.name, report.F(mean/n), report.F(minv/n), report.F1(repairs/n))
@@ -339,23 +407,32 @@ func CoverageComparison(base scenario.Config, robots int, seeds []int64, progres
 
 // ThresholdSweep exposes the freshness/overhead trade-off of the 20 m
 // location-update threshold (§4.2) for one algorithm.
-func ThresholdSweep(base scenario.Config, alg core.Algorithm, robots int, thresholds []float64, seeds []int64) (*report.Table, error) {
+func ThresholdSweep(base scenario.Config, alg core.Algorithm, robots int, thresholds []float64, seeds []int64, opts RunOptions) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("Sweep — location-update threshold (%s, %d robots)", alg, robots),
 		"threshold_m", "update_tx_per_failure", "report_delivery", "repairs")
+	var jobs []runner.Job
 	for _, th := range thresholds {
-		cell := &Cell{Algorithm: alg, Robots: robots}
-		var delivery float64
 		for _, seed := range seeds {
 			cfg := base
 			cfg.Algorithm = alg
 			cfg.Robots = robots
 			cfg.Seed = seed
 			cfg.UpdateThreshold = th
-			res, err := scenario.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, runner.Job{Config: cfg, Tag: th})
+		}
+	}
+	results, err := opts.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, th := range thresholds {
+		cell := &Cell{Algorithm: alg, Robots: robots}
+		var delivery float64
+		for range seeds {
+			res := results[i].Res
+			i++
 			cell.Runs = append(cell.Runs, res)
 			delivery += res.ReportDeliveryRatio()
 		}

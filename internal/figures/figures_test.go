@@ -17,7 +17,7 @@ func tinyBase() scenario.Config {
 
 func tinyGrid(t *testing.T) *Grid {
 	t.Helper()
-	g, err := RunGrid(tinyBase(), AllAlgorithms, []int{4}, []int64{1}, nil)
+	g, err := RunGrid(tinyBase(), AllAlgorithms, []int{4}, []int64{1}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestRunGridPopulatesCells(t *testing.T) {
 func TestRunGridProgressCallback(t *testing.T) {
 	var lines []string
 	_, err := RunGrid(tinyBase(), []core.Algorithm{core.Dynamic}, []int{4}, []int64{1, 2},
-		func(s string) { lines = append(lines, s) })
+		RunOptions{Procs: 1, Progress: func(s string) { lines = append(lines, s) }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestFig2TableSavingsColumn(t *testing.T) {
 }
 
 func TestCellMeansAcrossSeeds(t *testing.T) {
-	g, err := RunGrid(tinyBase(), []core.Algorithm{core.Dynamic}, []int{4}, []int64{1, 2}, nil)
+	g, err := RunGrid(tinyBase(), []core.Algorithm{core.Dynamic}, []int{4}, []int64{1, 2}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestCellMeansAcrossSeeds(t *testing.T) {
 }
 
 func TestAblationHexRuns(t *testing.T) {
-	tb, err := AblationHex(tinyBase(), []int{4}, []int64{1}, nil)
+	tb, err := AblationHex(tinyBase(), []int{4}, []int64{1}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestAblationHexRuns(t *testing.T) {
 }
 
 func TestAblationBroadcastReducesTransmissions(t *testing.T) {
-	tb, err := AblationBroadcast(tinyBase(), []int{4}, []int64{1}, nil)
+	tb, err := AblationBroadcast(tinyBase(), []int{4}, []int64{1}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestAblationBroadcastReducesTransmissions(t *testing.T) {
 }
 
 func TestThresholdSweepMonotonicity(t *testing.T) {
-	tb, err := ThresholdSweep(tinyBase(), core.Dynamic, 4, []float64{10, 40}, []int64{1})
+	tb, err := ThresholdSweep(tinyBase(), core.Dynamic, 4, []float64{10, 40}, []int64{1}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
 func TestCoverageComparisonMaintainedBeatsDecay(t *testing.T) {
 	base := tinyBase()
 	base.SimTime = 12000 // ~¾ of a mean lifetime of decay
-	tb, err := CoverageComparison(base, 4, []int64{1}, nil)
+	tb, err := CoverageComparison(base, 4, []int64{1}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ func TestPaperShapes(t *testing.T) {
 	}
 	base := scenario.DefaultConfig()
 	base.SimTime = 16000
-	grid, err := RunGrid(base, AllAlgorithms, []int{4, 16}, []int64{1, 2}, nil)
+	grid, err := RunGrid(base, AllAlgorithms, []int{4, 16}, []int64{1, 2}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -113,11 +113,51 @@ func (a *Accumulator) String() string {
 		a.n, a.Mean(), a.StdDev(), a.min, a.max)
 }
 
+// Counter is an interned transmission counter: a stable handle into a
+// Registry that increments without any map lookup. Obtain one with
+// Registry.Counter and keep it for the life of the run.
+type Counter struct {
+	n uint64
+}
+
+// Add records n transmissions on the counter.
+func (c *Counter) Add(n uint64) { c.n += n }
+
+// Value reports the recorded transmission count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// knownIdx maps the paper's traffic taxonomy to pre-interned counter
+// slots. The switch compiles to a length-bucketed compare tree — no hash,
+// no map — which makes CountTx on the hot radio path a pointer increment.
+func knownIdx(category string) int {
+	switch category {
+	case CatInit:
+		return 0
+	case CatBeacon:
+		return 1
+	case CatFailureReport:
+		return 2
+	case CatRepairRequest:
+		return 3
+	case CatLocUpdate:
+		return 4
+	case CatReplacement:
+		return 5
+	}
+	return -1
+}
+
+var knownCategories = [...]string{
+	CatInit, CatBeacon, CatFailureReport,
+	CatRepairRequest, CatLocUpdate, CatReplacement,
+}
+
 // Registry aggregates transmission counters and sample series for one
 // simulation run. It is not safe for concurrent use (the simulation is
 // single-threaded).
 type Registry struct {
-	tx      map[string]uint64
+	known   [len(knownCategories)]Counter // pre-interned paper categories
+	tx      map[string]*Counter           // open-ended categories only
 	samples map[string]*Accumulator
 	hists   map[string]*Histogram
 }
@@ -125,33 +165,67 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		tx:      make(map[string]uint64),
+		tx:      make(map[string]*Counter),
 		samples: make(map[string]*Accumulator),
 	}
 }
 
+// Counter returns the stable counter handle for a category, creating it on
+// first use. The paper's six categories resolve without touching the map.
+func (r *Registry) Counter(category string) *Counter {
+	if i := knownIdx(category); i >= 0 {
+		return &r.known[i]
+	}
+	c, ok := r.tx[category]
+	if !ok {
+		c = &Counter{}
+		r.tx[category] = c
+	}
+	return c
+}
+
 // CountTx records n wireless transmissions in the given category.
 func (r *Registry) CountTx(category string, n uint64) {
-	r.tx[category] += n
+	r.Counter(category).n += n
 }
 
 // Tx reports the number of transmissions recorded for a category.
-func (r *Registry) Tx(category string) uint64 { return r.tx[category] }
+func (r *Registry) Tx(category string) uint64 {
+	if i := knownIdx(category); i >= 0 {
+		return r.known[i].n
+	}
+	if c, ok := r.tx[category]; ok {
+		return c.n
+	}
+	return 0
+}
 
 // TotalTx reports transmissions across all categories.
 func (r *Registry) TotalTx() uint64 {
 	var total uint64
-	for _, v := range r.tx {
-		total += v
+	for i := range r.known {
+		total += r.known[i].n
+	}
+	for _, c := range r.tx {
+		total += c.n
 	}
 	return total
 }
 
-// Categories lists the categories seen so far, sorted.
+// Categories lists the categories with at least one recorded
+// transmission, sorted. (A category whose counter handle exists but was
+// never incremented is not listed.)
 func (r *Registry) Categories() []string {
-	out := make([]string, 0, len(r.tx))
-	for k := range r.tx {
-		out = append(out, k)
+	out := make([]string, 0, len(r.tx)+len(knownCategories))
+	for i, name := range knownCategories {
+		if r.known[i].n > 0 {
+			out = append(out, name)
+		}
+	}
+	for k, c := range r.tx {
+		if c.n > 0 {
+			out = append(out, k)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -192,7 +266,7 @@ func (r *Registry) Dump() string {
 	var b strings.Builder
 	b.WriteString("transmissions:\n")
 	for _, c := range r.Categories() {
-		fmt.Fprintf(&b, "  %-18s %d\n", c, r.tx[c])
+		fmt.Fprintf(&b, "  %-18s %d\n", c, r.Tx(c))
 	}
 	b.WriteString("series:\n")
 	for _, s := range r.SeriesNames() {

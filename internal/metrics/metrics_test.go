@@ -94,6 +94,51 @@ func TestRegistryCategoriesSorted(t *testing.T) {
 	}
 }
 
+func TestRegistryCounterHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(CatLocUpdate)
+	c.Add(3)
+	c.Add(2)
+	if got := r.Tx(CatLocUpdate); got != 5 {
+		t.Fatalf("Tx via handle = %d, want 5", got)
+	}
+	if r.Counter(CatLocUpdate) != c {
+		t.Fatal("Counter handle not stable for known category")
+	}
+	open := r.Counter("custom")
+	open.Add(7)
+	if r.Counter("custom") != open {
+		t.Fatal("Counter handle not stable for open category")
+	}
+	if r.Tx("custom") != 7 || r.TotalTx() != 12 {
+		t.Fatalf("tx=%d total=%d, want 7/12", r.Tx("custom"), r.TotalTx())
+	}
+}
+
+// The interned fast path must stay allocation- and map-free for the
+// paper's six categories: CountTx is on the per-transmission hot path.
+func TestCountTxKnownCategoryDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	allocs := testing.AllocsPerRun(100, func() {
+		r.CountTx(CatBeacon, 1)
+		r.CountTx(CatLocUpdate, 1)
+	})
+	if allocs > 0 {
+		t.Fatalf("CountTx on known categories allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestRegistryCategoriesIncludeKnownAndOpen(t *testing.T) {
+	r := NewRegistry()
+	r.CountTx(CatBeacon, 1)
+	r.CountTx("zzz_custom", 2)
+	got := r.Categories()
+	want := []string{CatBeacon, "zzz_custom"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Categories = %v, want %v", got, want)
+	}
+}
+
 func TestRegistryObserveAndSeries(t *testing.T) {
 	r := NewRegistry()
 	r.Observe(SeriesReportHops, 2)

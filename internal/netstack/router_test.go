@@ -49,7 +49,7 @@ func newTestNet() *testNet {
 	sched := sim.NewScheduler()
 	reg := metrics.NewRegistry()
 	return &testNet{
-		medium: radio.NewMedium(sched, reg, radio.Config{}),
+		medium: mustMedium(sched, reg, radio.Config{}),
 		sched:  sched,
 		reg:    reg,
 		nodes:  make(map[radio.NodeID]*testNode),
@@ -353,4 +353,13 @@ func TestPropertyHopsLowerBound(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustMedium builds a medium for a config that cannot fail validation.
+func mustMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg radio.Config) *radio.Medium {
+	m, err := radio.NewMedium(sched, reg, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

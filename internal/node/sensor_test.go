@@ -75,7 +75,7 @@ func newHarness() *harness {
 	return &harness{
 		sched:  sched,
 		reg:    reg,
-		medium: radio.NewMedium(sched, reg, radio.Config{CellSize: 63}),
+		medium: mustMedium(sched, reg, radio.Config{CellSize: 63}),
 	}
 }
 
@@ -383,4 +383,13 @@ func TestStaleNeighborPurgedButRobotRetained(t *testing.T) {
 	if _, ok := a.Table().Get(90); !ok {
 		t.Fatal("robot was purged from table despite being exempt")
 	}
+}
+
+// mustMedium builds a medium for a config that cannot fail validation.
+func mustMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg radio.Config) *radio.Medium {
+	m, err := radio.NewMedium(sched, reg, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

@@ -130,10 +130,11 @@ func (m *Medium) tryTransmit(f Frame, pos sendSnapshot, frameID uint64, defers i
 		end := start.Add(m.cfg.Contention.Airtime)
 		// The frame is audible at every active station in range,
 		// regardless of addressing — that is what causes collisions.
-		audible := m.InRange(pos.pos, pos.rng, f.Src)
+		audible := m.neighbors(pos.pos, pos.rng, f.Src)
 		for _, st := range audible {
 			m.air.mark(st.RadioID(), reception{frame: frameID, start: start, end: end})
 		}
+		m.recycle(audible)
 		// The sender itself hears its own transmission (for carrier
 		// sensing by its later frames).
 		m.air.mark(f.Src, reception{frame: frameID, start: start, end: end})
@@ -146,7 +147,7 @@ func (m *Medium) tryTransmit(f Frame, pos sendSnapshot, frameID uint64, defers i
 func (m *Medium) deliverContended(f Frame, frameID uint64, start, end sim.Time, pos sendSnapshot) {
 	deliverTo := func(st Station) {
 		if m.air.collided(st.RadioID(), frameID, start, end) {
-			m.reg.CountTx(CatCollision, 1)
+			m.collisionCt.Add(1)
 			return
 		}
 		if m.cfg.Loss != nil && m.cfg.Loss.Drop(f.Src, st.RadioID()) {
@@ -165,7 +166,9 @@ func (m *Medium) deliverContended(f Frame, frameID uint64, start, end sim.Time, 
 		deliverTo(dst)
 		return
 	}
-	for _, st := range m.InRange(pos.pos, pos.rng, f.Src) {
+	buf := m.neighbors(pos.pos, pos.rng, f.Src)
+	for _, st := range buf {
 		deliverTo(st)
 	}
+	m.recycle(buf)
 }

@@ -65,15 +65,34 @@ type LossModel interface {
 }
 
 // BernoulliLoss drops each reception independently with probability P,
-// drawing from Rand.
+// drawing from Rand. Rand must be non-nil whenever P > 0; NewMedium
+// rejects a misconfigured model instead of panicking mid-run.
 type BernoulliLoss struct {
 	P    float64
 	Rand interface{ Float64() float64 }
 }
 
-// Drop implements LossModel.
+// Drop implements LossModel. A zero-probability model never drops, even
+// without a random source.
 func (l *BernoulliLoss) Drop(NodeID, NodeID) bool {
+	if l.P <= 0 {
+		return false
+	}
 	return l.Rand.Float64() < l.P
+}
+
+// Validate reports whether the model is usable.
+func (l *BernoulliLoss) Validate() error {
+	if l == nil {
+		return nil
+	}
+	if l.P < 0 || l.P > 1 {
+		return fmt.Errorf("radio: loss probability %v outside [0,1]", l.P)
+	}
+	if l.P > 0 && l.Rand == nil {
+		return fmt.Errorf("radio: BernoulliLoss with P=%v needs a random source (Rand is nil)", l.P)
+	}
+	return nil
 }
 
 var _ LossModel = (*BernoulliLoss)(nil)
@@ -104,6 +123,13 @@ type Medium struct {
 	grid     map[cellKey][]NodeID
 	air      *air
 	frameSeq uint64
+	// scratch is the reusable neighbor buffer for broadcast delivery; it
+	// keeps the per-Send []Station allocation off the hot path. Borrow it
+	// with neighbors() and hand it back with recycle().
+	scratch []Station
+	// collisionCt is the pre-resolved handle for the contention model's
+	// per-reception collision accounting.
+	collisionCt *metrics.Counter
 }
 
 // sendSnapshot freezes the sender's position and range at Send time.
@@ -115,19 +141,27 @@ type sendSnapshot struct {
 type cellKey struct{ cx, cy int }
 
 // NewMedium returns an empty medium using the given scheduler and metrics
-// registry.
-func NewMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg Config) *Medium {
+// registry. It rejects a misconfigured loss model (any model exposing
+// Validate, e.g. a BernoulliLoss whose Rand is nil) so the error surfaces
+// at construction instead of as a panic on the first dropped reception.
+func NewMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg Config) (*Medium, error) {
 	if cfg.CellSize <= 0 {
 		cfg.CellSize = 63
 	}
-	return &Medium{
-		sched:    sched,
-		reg:      reg,
-		cfg:      cfg,
-		stations: make(map[NodeID]Station),
-		grid:     make(map[cellKey][]NodeID),
-		air:      newAir(),
+	if v, ok := cfg.Loss.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("radio: invalid loss model: %w", err)
+		}
 	}
+	return &Medium{
+		sched:       sched,
+		reg:         reg,
+		cfg:         cfg,
+		stations:    make(map[NodeID]Station),
+		grid:        make(map[cellKey][]NodeID),
+		air:         newAir(),
+		collisionCt: reg.Counter(CatCollision),
+	}, nil
 }
 
 // Attach registers a station at its current position. Attaching an ID that
@@ -201,15 +235,26 @@ func (m *Medium) removeFromGridAt(id NodeID, k cellKey) {
 
 // InRange returns the active stations strictly within radius of p,
 // excluding the station with ID exclude. Results are in deterministic
-// (ID-sorted) order.
+// (ID-sorted) order. The returned slice is freshly allocated; internal
+// delivery paths use the reusable scratch buffer instead (see neighbors).
 func (m *Medium) InRange(p geom.Point, radius float64, exclude NodeID) []Station {
 	if radius <= 0 {
 		return nil
 	}
+	return m.inRangeAppend(nil, p, radius, exclude)
+}
+
+// inRangeAppend appends the active stations strictly within radius of p
+// (excluding exclude) to dst in ID-sorted order and returns the extended
+// slice.
+func (m *Medium) inRangeAppend(dst []Station, p geom.Point, radius float64, exclude NodeID) []Station {
+	if radius <= 0 {
+		return dst
+	}
+	base := len(dst)
 	r2 := radius * radius
 	lo := m.keyOf(geom.Pt(p.X-radius, p.Y-radius))
 	hi := m.keyOf(geom.Pt(p.X+radius, p.Y+radius))
-	var out []Station
 	for cx := lo.cx; cx <= hi.cx; cx++ {
 		for cy := lo.cy; cy <= hi.cy; cy++ {
 			for _, id := range m.grid[cellKey{cx, cy}] {
@@ -221,13 +266,36 @@ func (m *Medium) InRange(p geom.Point, radius float64, exclude NodeID) []Station
 					continue
 				}
 				if p.Dist2(s.RadioPos()) <= r2 {
-					out = append(out, s)
+					dst = append(dst, s)
 				}
 			}
 		}
 	}
-	sortStations(out)
-	return out
+	sortStations(dst[base:])
+	return dst
+}
+
+// neighbors fills the medium's scratch buffer with the active stations in
+// range. The caller owns the returned slice until it hands it back via
+// recycle; taking ownership (nilling m.scratch) keeps reentrant Sends —
+// flood relays retransmit synchronously from HandleFrame — from clobbering
+// the buffer mid-iteration.
+func (m *Medium) neighbors(p geom.Point, radius float64, exclude NodeID) []Station {
+	buf := m.scratch[:0]
+	m.scratch = nil
+	return m.inRangeAppend(buf, p, radius, exclude)
+}
+
+// recycle returns a neighbors buffer for reuse, dropping station
+// references so detached stations are not pinned. When reentrant delivery
+// installed its own (smaller) buffer meanwhile, the larger one wins.
+func (m *Medium) recycle(buf []Station) {
+	for i := range buf {
+		buf[i] = nil
+	}
+	if cap(buf) > cap(m.scratch) {
+		m.scratch = buf[:0]
+	}
 }
 
 func sortStations(ss []Station) {
@@ -277,12 +345,14 @@ func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
 		dst.HandleFrame(f)
 		return
 	}
-	for _, s := range m.InRange(from, rng, f.Src) {
+	buf := m.neighbors(from, rng, f.Src)
+	for _, s := range buf {
 		if m.cfg.Loss != nil && m.cfg.Loss.Drop(f.Src, s.RadioID()) {
 			continue
 		}
 		s.HandleFrame(f)
 	}
+	m.recycle(buf)
 }
 
 // Scheduler exposes the simulation scheduler driving this medium.

@@ -32,7 +32,30 @@ var _ Station = (*fakeStation)(nil)
 func newTestMedium(cfg Config) (*Medium, *metrics.Registry, *sim.Scheduler) {
 	sched := sim.NewScheduler()
 	reg := metrics.NewRegistry()
-	return NewMedium(sched, reg, cfg), reg, sched
+	m, err := NewMedium(sched, reg, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m, reg, sched
+}
+
+func TestNewMediumRejectsLossWithoutRand(t *testing.T) {
+	sched := sim.NewScheduler()
+	reg := metrics.NewRegistry()
+	if _, err := NewMedium(sched, reg, Config{Loss: &BernoulliLoss{P: 0.1}}); err == nil {
+		t.Fatal("NewMedium accepted a BernoulliLoss with P>0 and nil Rand")
+	}
+	// P == 0 needs no random source: the model never draws.
+	m, err := NewMedium(sched, reg, Config{Loss: &BernoulliLoss{P: 0}})
+	if err != nil {
+		t.Fatalf("NewMedium rejected a zero-probability loss model: %v", err)
+	}
+	if m.cfg.Loss.Drop(1, 2) {
+		t.Fatal("zero-probability loss dropped a reception")
+	}
+	if _, err := NewMedium(sched, reg, Config{Loss: &BernoulliLoss{P: 1.5, Rand: rng.New(1)}}); err == nil {
+		t.Fatal("NewMedium accepted loss probability outside [0,1)")
+	}
 }
 
 func TestBroadcastReachesOnlyInRange(t *testing.T) {

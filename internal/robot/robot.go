@@ -106,8 +106,8 @@ type Robot struct {
 	anchorTime sim.Time
 	dest       geom.Point
 	moving     bool
-	arriveEv   *sim.Event
-	updateEv   *sim.Event
+	arriveEv   sim.Event
+	updateEv   sim.Event
 	indexedPos geom.Point // last position pushed into the medium's index
 
 	queue    []Task

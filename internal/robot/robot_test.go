@@ -31,7 +31,7 @@ func newRig() *rig {
 	sched := sim.NewScheduler()
 	return &rig{
 		sched:  sched,
-		medium: radio.NewMedium(sched, metrics.NewRegistry(), radio.Config{CellSize: 63}),
+		medium: mustMedium(sched, metrics.NewRegistry(), radio.Config{CellSize: 63}),
 		mode:   &recordMode{},
 	}
 }
@@ -393,4 +393,13 @@ func TestRobotFailNowStopsEverything(t *testing.T) {
 		t.Fatal("failed robot accepted a task")
 	}
 	r.FailNow() // idempotent
+}
+
+// mustMedium builds a medium for a config that cannot fail validation.
+func mustMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg radio.Config) *radio.Medium {
+	m, err := radio.NewMedium(sched, reg, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

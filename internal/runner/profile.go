@@ -1,0 +1,60 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles manages the optional pprof outputs of an experiment command.
+// Start it before the grid runs and Stop it after; either path may be
+// empty to disable that profile.
+type Profiles struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// StartProfiles begins CPU profiling to cpuPath (when non-empty) and
+// arranges for a heap profile to be written to memPath at Stop.
+func StartProfiles(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("runner: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: start cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if enabled.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("runner: close cpu profile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("runner: create mem profile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("runner: write mem profile: %w", err)
+		}
+	}
+	return nil
+}

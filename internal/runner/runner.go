@@ -1,0 +1,164 @@
+// Package runner is the parallel experiment engine: it fans a grid of
+// independent simulation configurations out over a fixed pool of worker
+// goroutines and collects per-run results in stable input order.
+//
+// Every simulation run is self-contained — it builds its own scheduler,
+// medium, metrics registry, and random streams from the config seed — so
+// runs parallelize with no shared state and no locks on the hot path.
+// Results are therefore bit-identical for a given (config, seed) whatever
+// the worker count; only wall-clock time changes. The engine reports
+// aggregate throughput in simulated seconds per wall-clock second, the
+// simulator's headline performance number.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roborepair/internal/scenario"
+)
+
+// Job is one cell of an experiment grid: a complete run configuration
+// plus optional caller metadata carried through to the Result.
+type Job struct {
+	Config scenario.Config
+	// Tag is opaque caller metadata (e.g. the swept parameter value).
+	Tag any
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// Job echoes the input cell.
+	Job Job
+	// Res holds the run's results when Err is nil.
+	Res scenario.Results
+	// Err is the run error, if the configuration failed to build or run.
+	Err error
+}
+
+// Stats aggregates one engine invocation.
+type Stats struct {
+	// Runs is the number of jobs executed (including failures).
+	Runs int
+	// Failed is the number of jobs that returned an error.
+	Failed int
+	// Procs is the worker count actually used.
+	Procs int
+	// Wall is the elapsed wall-clock time for the whole grid.
+	Wall time.Duration
+	// SimSeconds is the total simulated time across successful runs.
+	SimSeconds float64
+}
+
+// Throughput reports simulated seconds per wall-clock second.
+func (s Stats) Throughput() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return s.SimSeconds / s.Wall.Seconds()
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d runs on %d workers in %.2fs (%.0f sim-s/s)",
+		s.Runs, s.Procs, s.Wall.Seconds(), s.Throughput())
+}
+
+// Options parameterizes an engine invocation.
+type Options struct {
+	// Procs is the worker-pool size; values ≤ 0 select GOMAXPROCS.
+	Procs int
+	// OnResult, when non-nil, observes each result as it completes.
+	// Calls are serialized but arrive in completion order, which varies
+	// with the worker count — use it for progress reporting, not for
+	// order-dependent collection (the returned slice is already stable).
+	OnResult func(Result)
+}
+
+// Run executes every job on a pool of workers and returns the results in
+// input order, alongside aggregate statistics. Individual run failures do
+// not stop the grid; the first failure (by input order) is also returned
+// as the error so single-run callers can stay on the familiar
+// (value, error) contract.
+func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
+	procs := opts.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if procs > len(jobs) {
+		procs = len(jobs)
+	}
+	if procs < 1 {
+		procs = 1
+	}
+
+	results := make([]Result, len(jobs))
+	start := time.Now()
+	var next atomic.Int64
+	var mu sync.Mutex // serializes OnResult
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				res, err := scenario.Run(jobs[i].Config)
+				r := Result{Index: i, Job: jobs[i], Res: res, Err: err}
+				results[i] = r
+				if opts.OnResult != nil {
+					mu.Lock()
+					opts.OnResult(r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := Stats{Runs: len(jobs), Procs: procs, Wall: time.Since(start)}
+	var firstErr error
+	for i := range results {
+		if results[i].Err != nil {
+			stats.Failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("runner: job %d: %w", i, results[i].Err)
+			}
+			continue
+		}
+		stats.SimSeconds += results[i].Job.Config.SimTime
+	}
+	return results, stats, firstErr
+}
+
+// Seeds returns the conventional seed list 1..n.
+func Seeds(n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// Expand crosses a base configuration with a seed list: one job per seed,
+// in seed order, with the seed as the Tag.
+func Expand(base scenario.Config, seeds []int64) []Job {
+	jobs := make([]Job, 0, len(seeds))
+	for _, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		jobs = append(jobs, Job{Config: cfg, Tag: seed})
+	}
+	return jobs
+}

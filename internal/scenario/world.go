@@ -53,11 +53,14 @@ func New(cfg Config) (*World, error) {
 	}
 	sched := sim.NewScheduler()
 	reg := metrics.NewRegistry()
-	medium := radio.NewMedium(sched, reg, radio.Config{
+	medium, err := radio.NewMedium(sched, reg, radio.Config{
 		CellSize:   cfg.SensorRange,
 		Loss:       cfg.lossModel(rng.Split(cfg.Seed, "loss")),
 		Contention: cfg.contentionModel(rng.Split(cfg.Seed, "mac")),
 	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
 	w := &World{
 		Cfg:      cfg,
 		Sched:    sched,

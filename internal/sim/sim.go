@@ -50,22 +50,44 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 // virtual time.
 var ErrTimeInPast = errors.New("sim: event scheduled in the past")
 
-// Event is a cancellable handle to a scheduled callback.
-type Event struct {
+// event is the scheduler-owned storage for one scheduled callback. Fired
+// and cancelled events return to the scheduler's free list and are reused
+// by later At/After calls, so steady-state scheduling allocates nothing.
+// The generation counter makes stale Event handles inert after reuse.
+type event struct {
 	at    Time
 	seq   uint64
+	gen   uint32
 	index int // heap index, -1 when not queued
 	fn    func()
 }
 
-// At reports the virtual time the event fires at.
-func (e *Event) At() Time { return e.at }
+// Event is a cancellable handle to a scheduled callback. The zero value
+// refers to no event: it reports not scheduled, and cancelling it is a
+// no-op. Handles stay safe after the event fires or is cancelled — the
+// underlying storage is recycled, but a stale handle can never touch the
+// event that reused it.
+type Event struct {
+	e   *event
+	gen uint32
+}
+
+// At reports the virtual time the event fires at, or 0 once the event has
+// fired or been cancelled.
+func (ev Event) At() Time {
+	if !ev.Scheduled() {
+		return 0
+	}
+	return ev.e.at
+}
 
 // Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+func (ev Event) Scheduled() bool {
+	return ev.e != nil && ev.gen == ev.e.gen && ev.e.index >= 0
+}
 
 // eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 
@@ -83,7 +105,7 @@ func (q eventQueue) Swap(i, j int) {
 }
 
 func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
+	ev, ok := x.(*event)
 	if !ok {
 		return
 	}
@@ -109,8 +131,28 @@ type Scheduler struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
+	free    []*event // recycled event storage
 	fired   uint64
 	stopped bool
+}
+
+// alloc takes an event from the free list, or allocates one.
+func (s *Scheduler) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a dequeued event to the free list. Bumping the
+// generation invalidates every outstanding handle to it.
+func (s *Scheduler) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	s.free = append(s.free, ev)
 }
 
 // NewScheduler returns a scheduler with the clock at TimeZero.
@@ -128,19 +170,20 @@ func (s *Scheduler) Pending() int { return len(s.queue) }
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // At schedules fn to run at the absolute virtual time at.
-func (s *Scheduler) At(at Time, fn func()) (*Event, error) {
+func (s *Scheduler) At(at Time, fn func()) (Event, error) {
 	if at < s.now {
-		return nil, fmt.Errorf("%w: at=%v now=%v", ErrTimeInPast, at, s.now)
+		return Event{}, fmt.Errorf("%w: at=%v now=%v", ErrTimeInPast, at, s.now)
 	}
-	ev := &Event{at: at, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at, ev.seq, ev.fn = at, s.seq, fn
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return ev, nil
+	return Event{e: ev, gen: ev.gen}, nil
 }
 
 // After schedules fn to run d seconds from now. A non-positive delay fires
 // at the current instant, after all callbacks already queued for it.
-func (s *Scheduler) After(d Duration, fn func()) *Event {
+func (s *Scheduler) After(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -152,14 +195,14 @@ func (s *Scheduler) After(d Duration, fn func()) *Event {
 	return ev
 }
 
-// Cancel removes a pending event. Cancelling a nil, already-fired, or
+// Cancel removes a pending event. Cancelling a zero, already-fired, or
 // already-cancelled event is a no-op and reports false.
-func (s *Scheduler) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+func (s *Scheduler) Cancel(ev Event) bool {
+	if !ev.Scheduled() {
 		return false
 	}
-	heap.Remove(&s.queue, ev.index)
-	ev.fn = nil
+	heap.Remove(&s.queue, ev.e.index)
+	s.release(ev.e)
 	return true
 }
 
@@ -169,14 +212,18 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	ev, ok := heap.Pop(&s.queue).(*Event)
+	ev, ok := heap.Pop(&s.queue).(*event)
 	if !ok {
 		return false
 	}
 	s.now = ev.at
 	s.fired++
-	if ev.fn != nil {
-		ev.fn()
+	fn := ev.fn
+	// Recycle before running the callback so a reschedule-on-fire pattern
+	// (tickers, retry timers) reuses this event's storage immediately.
+	s.release(ev)
+	if fn != nil {
+		fn()
 	}
 	return true
 }
@@ -220,7 +267,7 @@ type Ticker struct {
 	s      *Scheduler
 	period Duration
 	fn     func()
-	ev     *Event
+	ev     Event
 	stop   bool
 }
 

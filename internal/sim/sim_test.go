@@ -131,17 +131,17 @@ func TestSchedulerCancel(t *testing.T) {
 	}
 }
 
-func TestSchedulerCancelNil(t *testing.T) {
+func TestSchedulerCancelZero(t *testing.T) {
 	s := NewScheduler()
-	if s.Cancel(nil) {
-		t.Fatal("Cancel(nil) should report false")
+	if s.Cancel(Event{}) {
+		t.Fatal("Cancel of the zero Event should report false")
 	}
 }
 
 func TestSchedulerCancelMiddleOfHeap(t *testing.T) {
 	s := NewScheduler()
 	var got []int
-	events := make([]*Event, 0, 20)
+	events := make([]Event, 0, 20)
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, s.After(Duration(i), func() { got = append(got, i) }))
@@ -365,7 +365,7 @@ func TestPropertyCancelComplement(t *testing.T) {
 	prop := func(delays []uint8, mask []bool) bool {
 		s := NewScheduler()
 		firedCount := 0
-		events := make([]*Event, len(delays))
+		events := make([]Event, len(delays))
 		for i, d := range delays {
 			events[i] = s.After(Duration(d), func() { firedCount++ })
 		}
@@ -413,9 +413,50 @@ func TestEventAccessors(t *testing.T) {
 	if ev.Scheduled() {
 		t.Fatal("fired event should not report scheduled")
 	}
-	var nilEv *Event
-	if nilEv.Scheduled() {
-		t.Fatal("nil event should not report scheduled")
+	var zero Event
+	if zero.Scheduled() {
+		t.Fatal("zero event should not report scheduled")
+	}
+}
+
+// TestEventHandleStaleAfterReuse guards the free-list pool: a handle to a
+// fired event must stay inert even after the scheduler reuses the event's
+// storage for a new callback.
+func TestEventHandleStaleAfterReuse(t *testing.T) {
+	s := NewScheduler()
+	stale := s.After(1, func() {})
+	s.RunAll() // fires and recycles the event storage
+	fired := false
+	fresh := s.After(1, func() { fired = true }) // reuses the freed storage
+	if stale.Scheduled() {
+		t.Fatal("stale handle reports scheduled after storage reuse")
+	}
+	if s.Cancel(stale) {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if !fresh.Scheduled() {
+		t.Fatal("fresh event lost")
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("fresh event never fired (stale cancel hit it)")
+	}
+}
+
+// TestSchedulerReusesEventStorage asserts the pool actually recycles:
+// steady-state schedule/fire cycles must not grow allocations.
+func TestSchedulerReusesEventStorage(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm the pool.
+	s.After(1, fn)
+	s.Step()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.After(1, fn)
+		s.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f objects per cycle, want 0", allocs)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"roborepair/internal/core"
 	"roborepair/internal/figures"
 	"roborepair/internal/geom"
+	"roborepair/internal/runner"
 	"roborepair/internal/scenario"
 )
 
@@ -74,6 +75,24 @@ func Run(cfg Config) (Results, error) { return scenario.Run(cfg) }
 // NewWorld builds a simulation without running it, for callers that need
 // to inspect or perturb the world (burst failures, custom metrics).
 func NewWorld(cfg Config) (*World, error) { return scenario.New(cfg) }
+
+// RunMany executes every configuration on a pool of procs worker
+// goroutines (procs ≤ 0 selects GOMAXPROCS) and returns the results in
+// input order. Runs share no state, so each result is bit-identical to a
+// serial Run of the same configuration; failures do not stop the batch,
+// and the first failure (by input order) is returned as the error.
+func RunMany(cfgs []Config, procs int) ([]Results, error) {
+	jobs := make([]runner.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = runner.Job{Config: cfg}
+	}
+	rs, _, err := runner.Run(jobs, runner.Options{Procs: procs})
+	out := make([]Results, len(rs))
+	for i := range rs {
+		out[i] = rs[i].Res
+	}
+	return out, err
+}
 
 // ParseAlgorithm converts "centralized", "fixed", or "dynamic" into an
 // Algorithm.
