@@ -4,6 +4,10 @@
 // Usage:
 //
 //	repairsim -alg dynamic -robots 9 -simtime 64000 -seed 1 [-v]
+//
+// Robustness runs inject a fault plan and enable the reliability protocol:
+//
+//	repairsim -alg dynamic -reliable -fault 'robot@4000=0;burst@4000-8000=0.05'
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"os"
 
 	"roborepair"
+	"roborepair/internal/chaos"
 )
 
 func main() {
@@ -38,10 +43,19 @@ func run(args []string) error {
 	efficient := fs.Bool("efficient-broadcast", false, "enable the §4.3.2 relay-set optimization")
 	fs.Float64Var(&cfg.SensingRange, "sensing", 0, "sensing radius (m); >0 tracks coverage")
 	fs.IntVar(&cfg.CargoCapacity, "cargo", 0, "robot cargo capacity; 0 = unlimited")
+	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
+	fs.BoolVar(&cfg.Reliability.Enabled, "reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
 	verbose := fs.Bool("v", false, "dump the full metrics registry")
 	asJSON := fs.Bool("json", false, "emit results as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fault != "" {
+		plan, err := chaos.Parse(*fault)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
 	}
 
 	alg, err := roborepair.ParseAlgorithm(*algName)
@@ -72,6 +86,13 @@ func run(args []string) error {
 	if cfg.SensingRange > 0 {
 		fmt.Printf("coverage: mean %.3f   min %.3f (sensing radius %.0f m)\n",
 			res.MeanCoverage, res.MinCoverage, cfg.SensingRange)
+	}
+	if cfg.Faults != nil || cfg.Reliability.Enabled {
+		fmt.Printf("degradation: unrepaired %d   dup repairs %d   stranded %d (requeued %d)   "+
+			"retx %d (abandoned %d)   redispatches %d   takeovers %d   mean recovery %.1f s\n",
+			res.UnrepairedFailures, res.DuplicateRepairs, res.StrandedTasks, res.RequeuedTasks,
+			res.ReportRetx, res.ReportsAbandoned, res.Redispatches, res.ManagerTakeovers,
+			res.MeanFaultRecovery)
 	}
 	if *verbose {
 		fmt.Print(res.Registry.Dump())

@@ -9,6 +9,13 @@
 //	sweep -param loss -values 0,0.05,0.1,0.2
 //	sweep -param density -values 25,50,100
 //	sweep -seeds 8 -procs 4       # parallel grid, identical CSV to -procs 1
+//
+// Robustness experiments inject a fault plan and enable the reliability
+// protocol; the CSV gains the degradation columns (unrepaired, stranded,
+// retransmissions, takeovers, ...):
+//
+//	sweep -param loss -values 0,0.1 -reliable \
+//	      -fault 'robot@4000=0;burst@4000-8000=0.05;mgr@9000'
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"strings"
 
 	"roborepair"
+	"roborepair/internal/chaos"
 	"roborepair/internal/runner"
 )
 
@@ -44,6 +52,8 @@ func run(args []string) error {
 	seeds := fs.Int("seeds", 1, "seeds per configuration")
 	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print engine throughput to stderr")
+	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
+	reliable := fs.Bool("reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +63,13 @@ func run(args []string) error {
 	vals, err := parseFloats(*values)
 	if err != nil {
 		return err
+	}
+	var plan *chaos.FaultPlan
+	if *fault != "" {
+		plan, err = chaos.Parse(*fault)
+		if err != nil {
+			return err
+		}
 	}
 	var algs []roborepair.Algorithm
 	for _, name := range strings.Split(*algsFlag, ",") {
@@ -81,6 +98,8 @@ func run(args []string) error {
 				cfg.Algorithm = alg
 				cfg.SimTime = *simtime
 				cfg.Seed = seed
+				cfg.Faults = plan
+				cfg.Reliability.Enabled = *reliable
 				if err := apply(&cfg, *param, v); err != nil {
 					return err
 				}
@@ -97,15 +116,27 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, st.String())
 	}
 
-	fmt.Println("algorithm,param,value,seed,failures,reports_delivered,repairs," +
-		"travel_per_failure_m,report_hops,request_hops,update_tx_per_failure,repair_delay_s")
+	header := "algorithm,param,value,seed,failures,reports_delivered,repairs," +
+		"travel_per_failure_m,report_hops,request_hops,update_tx_per_failure,repair_delay_s"
+	degraded := plan != nil || *reliable
+	if degraded {
+		header += ",unrepaired,dup_repairs,stranded,requeued,report_retx,abandoned,redispatches,takeovers,recovery_s"
+	}
+	fmt.Println(header)
 	for _, r := range results {
 		res := r.Res
-		fmt.Printf("%s,%s,%g,%d,%d,%d,%d,%.2f,%.3f,%.3f,%.2f,%.1f\n",
+		fmt.Printf("%s,%s,%g,%d,%d,%d,%d,%.2f,%.3f,%.3f,%.2f,%.1f",
 			r.Job.Config.Algorithm, *param, r.Job.Tag.(cell).value, r.Job.Config.Seed,
 			res.FailuresInjected, res.ReportsDelivered, res.Repairs,
 			res.AvgTravelPerFailure, res.AvgReportHops, res.AvgRequestHops,
 			res.LocUpdateTxPerFailure, res.AvgRepairDelay)
+		if degraded {
+			fmt.Printf(",%d,%d,%d,%d,%d,%d,%d,%d,%.1f",
+				res.UnrepairedFailures, res.DuplicateRepairs, res.StrandedTasks,
+				res.RequeuedTasks, res.ReportRetx, res.ReportsAbandoned,
+				res.Redispatches, res.ManagerTakeovers, res.MeanFaultRecovery)
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -154,9 +154,18 @@ func (u CentralizedUpdate) Publish(r *robot.Robot, up wire.RobotUpdate) {
 		Payload:  up,
 	})
 	// Unicast to the manager so dispatch decisions use fresh locations.
+	// After a manager failover the robot tracks its elected replacement
+	// (reliability extension); otherwise the configured static manager.
+	mgrID, mgrLoc := u.ManagerID, u.ManagerLoc
+	if id, loc, ok := r.ManagerTarget(); ok {
+		mgrID, mgrLoc = id, loc
+	}
+	if mgrID == r.ID() {
+		return // this robot is the manager; nothing to unicast
+	}
 	r.Router().Originate(netstack.Packet{
-		Dst:      u.ManagerID,
-		DstLoc:   u.ManagerLoc,
+		Dst:      mgrID,
+		DstLoc:   mgrLoc,
 		Category: cat,
 		Payload:  up,
 	})
@@ -196,6 +205,12 @@ type ManagerHooks struct {
 	// OnUndispatchable fires when a report arrives before any robot
 	// location is known.
 	OnUndispatchable func(rep wire.FailureReport)
+	// OnRedispatch fires when the manager re-issues an outstanding repair
+	// request after a robot death or ack timeout (reliability extension).
+	OnRedispatch func(req wire.RepairRequest, to radio.NodeID, attempt int)
+	// OnDeposed fires when the manager stands down after hearing a robot's
+	// standing manager claim (the fleet declared it dead and moved on).
+	OnDeposed func()
 }
 
 // Manager is the static central manager station of §3.1. It is modeled as
@@ -216,6 +231,15 @@ type Manager struct {
 	meanDispatchDist float64
 	dispatches       int
 	seq              uint64
+
+	// Reliability-extension state (inert when rel is zero).
+	rel         ManagerReliability
+	failed      bool
+	deposed     bool
+	ticker      *sim.Ticker
+	lastHeard   map[radio.NodeID]sim.Time
+	seen        map[radio.NodeID]bool         // failed IDs already dispatched
+	outstanding map[radio.NodeID]*mgrDispatch // issued requests by failed ID
 }
 
 // robotInfo is the manager's view of one maintenance robot.
@@ -283,14 +307,22 @@ func (m *Manager) RadioPos() geom.Point { return m.pos }
 // RadioRange implements radio.Station.
 func (m *Manager) RadioRange() float64 { return m.rng }
 
-// RadioActive implements radio.Station: the manager does not fail.
-func (m *Manager) RadioActive() bool { return true }
+// RadioActive implements radio.Station: the manager does not fail in the
+// paper's model; the resilience extension can crash it via FailNow.
+func (m *Manager) RadioActive() bool { return !m.failed }
 
 // Start attaches the manager and floods its location network-wide after
 // initDelay ("the manager broadcasts its location to all the sensor nodes
 // and all the maintenance robots", §3.1).
 func (m *Manager) Start(initDelay sim.Duration) {
 	m.medium.Attach(m)
+	if m.rel.Enabled() {
+		t, err := m.medium.Scheduler().NewTicker(m.rel.HeartbeatPeriod, m.rel.HeartbeatPeriod, m.relTick)
+		if err != nil {
+			panic(err) // unreachable: Enabled() implies a positive period
+		}
+		m.ticker = t
+	}
 	m.medium.Scheduler().After(initDelay, func() {
 		m.seq++
 		m.medium.Send(radio.Frame{
@@ -312,13 +344,19 @@ func (m *Manager) Start(initDelay sim.Duration) {
 // register by unicast during initialization).
 func (m *Manager) TrackRobot(id radio.NodeID, loc geom.Point) {
 	m.robots[id] = robotInfo{loc: loc}
+	m.noteRobot(id)
 }
 
 // HandleFrame implements radio.Station.
 func (m *Manager) HandleFrame(f radio.Frame) {
+	if m.failed || m.deposed {
+		return
+	}
 	switch p := f.Payload.(type) {
 	case netstack.Packet:
 		m.router.Receive(p)
+	case netstack.FloodMsg:
+		m.heardFlood(p)
 	}
 }
 
@@ -326,24 +364,52 @@ func (m *Manager) HandleFrame(f radio.Frame) {
 // updates refresh the dispatch table, failure reports are forwarded to the
 // closest robot.
 func (m *Manager) deliver(p netstack.Packet) {
+	if m.failed || m.deposed {
+		return
+	}
 	switch msg := p.Payload.(type) {
 	case wire.RobotUpdate:
 		m.robots[msg.Robot] = robotInfo{loc: msg.Loc, load: msg.Load}
+		if m.rel.Enabled() {
+			m.noteRobot(msg.Robot)
+			m.ackHeartbeat(msg)
+		}
 	case wire.FailureReport:
 		if m.hooks.OnReportReceived != nil {
 			m.hooks.OnReportReceived(msg, p.Hops)
 		}
+		if m.rel.Enabled() {
+			// Ack first — even a duplicate means the reporter must stop
+			// retransmitting — then deduplicate by failed node.
+			m.ackReport(msg)
+			if m.seen[msg.Failed] {
+				return
+			}
+			m.seen[msg.Failed] = true
+		}
 		m.dispatch(msg)
+	case wire.DispatchAck:
+		if o, ok := m.outstanding[msg.Failed]; ok && o.robot == msg.Robot {
+			o.acked = true
+		}
+	case wire.RepairDone:
+		if m.rel.Enabled() {
+			delete(m.outstanding, msg.Failed)
+			delete(m.seen, msg.Failed)
+		}
 	}
 }
 
-// dispatch selects the robot for a failure per the dispatch policy — by
-// default "the robot whose current location is the closest to the
-// failure" — and forwards a repair request to it.
-func (m *Manager) dispatch(rep wire.FailureReport) {
+// selectRobot picks the robot for a failure location per the dispatch
+// policy, skipping robots past the liveness deadline when the reliability
+// protocol is on.
+func (m *Manager) selectRobot(loc geom.Point, now sim.Time) (radio.NodeID, bool) {
 	var best radio.NodeID
 	bestScore := -1.0
 	for id, info := range m.robots {
+		if m.rel.Enabled() && m.robotStale(id, now) {
+			continue
+		}
 		var score float64
 		switch m.policy {
 		case DispatchShortestETA:
@@ -351,26 +417,46 @@ func (m *Manager) dispatch(rep wire.FailureReport) {
 			if m.dispatches == 0 {
 				est = 100 // the geometry’s prior (½·√(area/robot))
 			}
-			score = info.loc.Dist(rep.Loc) + float64(info.load)*est
+			score = info.loc.Dist(loc) + float64(info.load)*est
 		default:
-			score = info.loc.Dist2(rep.Loc)
+			score = info.loc.Dist2(loc)
 		}
 		if bestScore < 0 || score < bestScore || (score == bestScore && id < best) {
 			best, bestScore = id, score
 		}
 	}
-	if bestScore < 0 {
+	return best, bestScore >= 0
+}
+
+// dispatch selects the robot for a failure per the dispatch policy — by
+// default "the robot whose current location is the closest to the
+// failure" — and forwards a repair request to it.
+func (m *Manager) dispatch(rep wire.FailureReport) {
+	now := m.medium.Scheduler().Now()
+	req := wire.RepairRequest{Failed: rep.Failed, Loc: rep.Loc, IssuedAt: now}
+	if m.rel.Enabled() {
+		req.Manager, req.ManagerLoc = m.id, m.pos
+	}
+	best, ok := m.selectRobot(rep.Loc, now)
+	if !ok {
 		if m.hooks.OnUndispatchable != nil {
 			m.hooks.OnUndispatchable(rep)
+		}
+		if m.outstanding != nil {
+			// Responsibility is already acknowledged to the reporter: keep
+			// the request outstanding until a live robot appears.
+			m.outstanding[rep.Failed] = &mgrDispatch{req: req, lastSent: now}
 		}
 		return
 	}
 	d := m.robots[best].loc.Dist(rep.Loc)
 	m.meanDispatchDist = (m.meanDispatchDist*float64(m.dispatches) + d) / float64(m.dispatches+1)
 	m.dispatches++
-	req := wire.RepairRequest{Failed: rep.Failed, Loc: rep.Loc, IssuedAt: m.medium.Scheduler().Now()}
 	if m.hooks.OnRequestIssued != nil {
 		m.hooks.OnRequestIssued(req, best)
+	}
+	if m.outstanding != nil {
+		m.outstanding[rep.Failed] = &mgrDispatch{req: req, robot: best, lastSent: now, attempts: 1}
 	}
 	m.router.Originate(netstack.Packet{
 		Dst:      best,

@@ -25,6 +25,15 @@ const (
 	CatReplacement   = "replacement"
 )
 
+// Reliability-extension traffic categories (all zero in the paper's
+// fire-and-forget model). Retransmitted reports get their own category so
+// the paper's failure_report counts stay comparable to the figures.
+const (
+	CatReportRetx = "failure_report_retx"
+	CatAck        = "ack"
+	CatTakeover   = "manager_takeover"
+)
+
 // Sample series names recorded by the runner.
 const (
 	SeriesTravelPerFailure = "travel_per_failure_m"
@@ -33,6 +42,12 @@ const (
 	SeriesRepairDelay      = "repair_delay_s"
 	SeriesQueueLength      = "queue_length"
 	SeriesCoverage         = "coverage_fraction"
+	// SeriesStrandedTasks samples the number of tasks stranded at each
+	// robot failure; SeriesFaultRecovery samples the time from an injected
+	// fault to the point the system absorbed it (backlog drained or a new
+	// manager elected).
+	SeriesStrandedTasks = "stranded_tasks"
+	SeriesFaultRecovery = "fault_recovery_s"
 )
 
 // Accumulator ingests a stream of float64 samples and exposes summary
@@ -143,6 +158,12 @@ func knownIdx(category string) int {
 		return 4
 	case CatReplacement:
 		return 5
+	case CatReportRetx:
+		return 6
+	case CatAck:
+		return 7
+	case CatTakeover:
+		return 8
 	}
 	return -1
 }
@@ -150,6 +171,7 @@ func knownIdx(category string) int {
 var knownCategories = [...]string{
 	CatInit, CatBeacon, CatFailureReport,
 	CatRepairRequest, CatLocUpdate, CatReplacement,
+	CatReportRetx, CatAck, CatTakeover,
 }
 
 // Registry aggregates transmission counters and sample series for one

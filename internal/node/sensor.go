@@ -49,6 +49,9 @@ type Config struct {
 	// relaying sensor designates at most six angular-sector forwarders
 	// instead of letting every neighbor relay.
 	EfficientBroadcast bool
+	// Reliability configures the report-retransmission extension. The
+	// zero value reproduces the paper's fire-and-forget behaviour.
+	Reliability Reliability
 }
 
 // Hooks lets the experiment runner observe sensor-level events without
@@ -59,6 +62,11 @@ type Hooks struct {
 	// OnReportDropped fires when a report packet is discarded in the
 	// network with this sensor as a relay.
 	OnReportDropped func(p netstack.Packet, reason netstack.DropReason)
+	// OnReportRetx fires when a guardian retransmits an unacknowledged
+	// report; attempt counts transmissions so far.
+	OnReportRetx func(rep wire.FailureReport, attempt int)
+	// OnReportAbandoned fires when a report exhausts its retry budget.
+	OnReportAbandoned func(rep wire.FailureReport)
 }
 
 type guardee struct {
@@ -90,6 +98,13 @@ type Sensor struct {
 	target    radio.NodeID // failure report destination
 	targetLoc geom.Point
 	robots    map[radio.NodeID]geom.Point // known robots/managers (never guardians)
+
+	// Reliability-extension state (inert at the zero Reliability config).
+	reportSeq   uint64
+	pending     map[uint64]*pendingReport // unacked reports by Seq
+	lastFrameAt sim.Time                  // last frame heard at all (deafness detection)
+	robotHeard  map[radio.NodeID]sim.Time // last reception per robot (expiry)
+	manager     radio.NodeID              // current manager, exempt from expiry
 }
 
 var _ radio.Station = (*Sensor)(nil)
@@ -109,16 +124,21 @@ func NewSensor(id radio.NodeID, pos geom.Point, cfg Config, policy Policy, mediu
 		flooder:  netstack.NewFlooder(),
 		guardees: make(map[radio.NodeID]guardee),
 		robots:   make(map[radio.NodeID]geom.Point),
+		manager:  cfg.Reliability.Manager,
+	}
+	if cfg.Reliability.RetryEnabled() {
+		s.pending = make(map[uint64]*pendingReport)
+	}
+	if cfg.Reliability.RobotExpiry > 0 {
+		s.robotHeard = make(map[radio.NodeID]sim.Time)
 	}
 	s.router = &netstack.Router{
-		ID:     id,
-		Pos:    func() geom.Point { return s.pos },
-		Range:  func() float64 { return s.cfg.Range },
-		Medium: medium,
-		Source: netstack.TableSource{Table: s.table},
-		Deliver: func(netstack.Packet) {
-			// Sensors are never packet destinations in this system.
-		},
+		ID:      id,
+		Pos:     func() geom.Point { return s.pos },
+		Range:   func() float64 { return s.cfg.Range },
+		Medium:  medium,
+		Source:  netstack.TableSource{Table: s.table},
+		Deliver: s.deliverPacket,
 		OnDrop: func(p netstack.Packet, r netstack.DropReason) {
 			s.medium.Metrics().CountTx("drop_"+string(r), 1)
 			if s.hooks.OnReportDropped != nil {
@@ -241,6 +261,10 @@ func (s *Sensor) FailNow() {
 	if s.ticker != nil {
 		s.ticker.Stop()
 	}
+	for _, p := range s.pending {
+		s.sched.Cancel(p.ev) // dead guardians stop retransmitting
+	}
+	s.pending = nil
 }
 
 // tick sends the periodic beacon and runs the failure-detection checks.
@@ -271,7 +295,17 @@ func (s *Sensor) tick() {
 		g := s.guardees[id]
 		delete(s.guardees, id)
 		s.table.Remove(id)
-		s.report(id, g.loc, now)
+		if s.cfg.Reliability.RetryEnabled() {
+			// Confirmation grace: hold the report for two beacon periods.
+			// A guardee that was merely silenced (a radio blackout lifting
+			// makes every neighbor look 1000s-dead at once) beacons within
+			// one period and cancels the false report before any traffic;
+			// a real failure is reported 2 periods later — noise against
+			// repair delays.
+			s.reportAfter(id, g.loc, now, 2*s.cfg.BeaconPeriod)
+		} else {
+			s.report(id, g.loc, now)
+		}
 	}
 
 	// Guardian liveness: a silent guardian is replaced, not reported
@@ -280,6 +314,22 @@ func (s *Sensor) tick() {
 		s.table.Remove(s.guardian)
 		s.guardian = 0
 		s.selectGuardian()
+	}
+
+	// Neighbor watch (reliability extension): collect the silent
+	// non-robot neighbors about to be purged — each will be reported, not
+	// just forgotten, closing the guardian scheme's blind spot (a guardian
+	// dying inside its guardee's detection window strands the guardee).
+	var watch []netstack.Neighbor
+	if s.cfg.Reliability.NeighborWatch {
+		for _, n := range s.table.All() {
+			if n.LastHeard >= deadline {
+				continue
+			}
+			if _, isRobot := s.robots[n.ID]; !isRobot {
+				watch = append(watch, n)
+			}
+		}
 	}
 
 	// Purge other stale neighbors so routing never picks a dead relay.
@@ -291,6 +341,14 @@ func (s *Sensor) tick() {
 				s.table.Upsert(id, loc, now)
 			}
 		}
+	}
+	for _, n := range watch {
+		s.reportAfter(n.ID, n.Loc, now, s.cfg.Reliability.WatchGrace)
+	}
+
+	// Expire dead robots so reports chase survivors, not ghosts.
+	if s.cfg.Reliability.RobotExpiry > 0 {
+		s.expireRobots(now)
 	}
 }
 
@@ -328,11 +386,22 @@ func (s *Sensor) selectGuardian() {
 }
 
 // report originates a failure report toward the sensor's current target.
+// With retransmission enabled the report is numbered, tracked, and re-sent
+// with capped exponential backoff until acked or observed repaired.
 func (s *Sensor) report(failed radio.NodeID, loc geom.Point, now sim.Time) {
+	rep := wire.FailureReport{Failed: failed, Loc: loc, Reporter: s.id, DetectedAt: now}
+	if s.cfg.Reliability.RetryEnabled() {
+		s.reportSeq++
+		rep.Seq = s.reportSeq
+		rep.ReporterLoc = s.pos
+		p := &pendingReport{rep: rep}
+		s.pending[rep.Seq] = p
+		s.sendReport(p)
+		return
+	}
 	if s.target == 0 {
 		return // no known manager: the failure goes unreported
 	}
-	rep := wire.FailureReport{Failed: failed, Loc: loc, Reporter: s.id, DetectedAt: now}
 	if s.hooks.OnReportSent != nil {
 		s.hooks.OnReportSent(rep)
 	}
@@ -350,12 +419,30 @@ func (s *Sensor) HandleFrame(f radio.Frame) {
 		return
 	}
 	now := s.sched.Now()
+	if s.cfg.Reliability.RetryEnabled() {
+		// Deafness resync: a sensor that heard no frame at all for a full
+		// detection window was cut off (e.g. a regional radio blackout), so
+		// every silence verdict formed in the gap is suspect. Re-grant the
+		// unacked pending reports a confirmation grace before accusing.
+		deaf := s.cfg.BeaconPeriod * sim.Duration(s.cfg.MissedBeacons)
+		if s.lastFrameAt > 0 && now.Sub(s.lastFrameAt) > deaf {
+			s.resyncPendings()
+		}
+		s.lastFrameAt = now
+	}
 	switch m := f.Payload.(type) {
 	case wire.Beacon:
 		s.hearNeighbor(m.From, m.Loc, now)
+		// A beacon from a reported location means the site is alive after
+		// all: a blackout false positive resurfacing, or a replacement
+		// whose boot announce this reporter missed.
+		s.observeRepair(m.Loc)
 	case wire.LocationAnnounce:
 		s.hearNeighbor(m.From, m.Loc, now)
 		if m.Replacement {
+			// The repair happened: stop retransmitting reports for this
+			// location even if the ack never arrived.
+			s.observeRepair(m.Loc)
 			// §4.2(a): answer a replacement node's boot broadcast with a
 			// beacon so it can build its neighbor table.
 			s.medium.Send(radio.Frame{
@@ -397,6 +484,9 @@ func (s *Sensor) hearNeighbor(from radio.NodeID, loc geom.Point, now sim.Time) {
 // noteRobot records a robot's position and refreshes target/table state.
 func (s *Sensor) noteRobot(up wire.RobotUpdate, now sim.Time) {
 	s.robots[up.Robot] = up.Loc
+	if s.robotHeard != nil {
+		s.robotHeard[up.Robot] = now
+	}
 	if s.pos.Dist(up.Loc) <= s.cfg.Range {
 		s.table.Upsert(up.Robot, up.Loc, now)
 	} else {
@@ -410,15 +500,44 @@ func (s *Sensor) noteRobot(up wire.RobotUpdate, now sim.Time) {
 // handleFlood applies duplicate suppression, lets the policy decide
 // adoption/relaying, and rebroadcasts when appropriate.
 func (s *Sensor) handleFlood(m netstack.FloodMsg, now sim.Time) {
-	up, ok := m.Payload.(wire.RobotUpdate)
-	if !ok {
+	var relay bool
+	switch pl := m.Payload.(type) {
+	case wire.RobotUpdate:
+		if !s.flooder.Fresh(m) {
+			return
+		}
+		s.noteRobot(pl, now)
+		relay = s.policy.Consider(s, pl)
+		if pl.Managing && pl.Robot != s.manager {
+			// A standing manager claim in a heartbeat: the fleet elected
+			// this robot after a takeover. Sensors that missed the one-shot
+			// takeover flood (blackout, late boot) converge here.
+			s.adoptManager(wire.ManagerTakeover{Manager: pl.Robot, Loc: pl.Loc}, now)
+			relay = true
+		} else if s.manager != 0 && pl.Robot == s.manager {
+			// A managing robot's flooded heartbeat: keep the route to the
+			// post-takeover manager fresh everywhere, whatever the policy
+			// thinks of ordinary robots.
+			s.SetTarget(pl.Robot, pl.Loc)
+			relay = true
+		} else if !relay && s.cfg.Reliability.OrphanAdopt && s.target == 0 {
+			// Orphaned sensor: adopt the closest robot it knows even when
+			// the policy declines (fixed's cross-subarea fallback), and
+			// relay so the flood sweeps the whole orphaned cell.
+			if id, loc, ok := s.ClosestKnownRobot(); ok {
+				s.SetTarget(id, loc)
+				relay = true
+			}
+		}
+	case wire.ManagerTakeover:
+		if !s.flooder.Fresh(m) {
+			return
+		}
+		s.adoptManager(pl, now)
+		relay = true
+	default:
 		return
 	}
-	if !s.flooder.Fresh(m) {
-		return
-	}
-	s.noteRobot(up, now)
-	relay := s.policy.Consider(s, up)
 	if !relay || m.TTL <= 1 {
 		return
 	}

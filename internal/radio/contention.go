@@ -145,12 +145,19 @@ func (m *Medium) tryTransmit(f Frame, pos sendSnapshot, frameID uint64, defers i
 }
 
 func (m *Medium) deliverContended(f Frame, frameID uint64, start, end sim.Time, pos sendSnapshot) {
+	if m.silenced(pos.pos) {
+		m.reg.CountTx(CatBlackout, 1)
+		return
+	}
 	deliverTo := func(st Station) {
 		if m.air.collided(st.RadioID(), frameID, start, end) {
 			m.collisionCt.Add(1)
 			return
 		}
-		if m.cfg.Loss != nil && m.cfg.Loss.Drop(f.Src, st.RadioID()) {
+		if m.silenced(st.RadioPos()) {
+			return
+		}
+		if m.lost(f, st.RadioID()) {
 			return
 		}
 		st.HandleFrame(f)

@@ -64,6 +64,25 @@ type LossModel interface {
 	Drop(src, dst NodeID) bool
 }
 
+// FrameLossModel is an optional refinement of LossModel: a loss model that
+// also implements it is consulted with the full frame, so drops can depend
+// on traffic category or payload (e.g. a test that loses exactly the first
+// failure report, or a scripted loss burst).
+type FrameLossModel interface {
+	LossModel
+	// DropFrame reports whether frame f is lost at dst.
+	DropFrame(f Frame, dst NodeID) bool
+}
+
+// OutageModel silences regions of the field: a station whose position is
+// silenced can neither be heard nor hear anything (a radio blackout, e.g.
+// jamming or EMP in a disaster scenario). Implementations are typically
+// driven by the simulation clock.
+type OutageModel interface {
+	// Silenced reports whether a station at pos is inside a blackout.
+	Silenced(pos geom.Point) bool
+}
+
 // BernoulliLoss drops each reception independently with probability P,
 // drawing from Rand. Rand must be non-nil whenever P > 0; NewMedium
 // rejects a misconfigured model instead of panicking mid-run.
@@ -109,6 +128,9 @@ type Config struct {
 	Latency sim.Duration
 	// Loss optionally drops receptions. Nil means lossless.
 	Loss LossModel
+	// Outage optionally silences regions of the field. Nil means no
+	// blackouts.
+	Outage OutageModel
 	// Contention optionally enables the MAC collision model.
 	Contention ContentionConfig
 }
@@ -130,6 +152,10 @@ type Medium struct {
 	// collisionCt is the pre-resolved handle for the contention model's
 	// per-reception collision accounting.
 	collisionCt *metrics.Counter
+	// frameLoss caches the FrameLossModel view of cfg.Loss (nil when the
+	// model only implements per-pair Drop), keeping the type assertion off
+	// the delivery path.
+	frameLoss FrameLossModel
 }
 
 // sendSnapshot freezes the sender's position and range at Send time.
@@ -153,6 +179,7 @@ func NewMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg Config) (*Medium
 			return nil, fmt.Errorf("radio: invalid loss model: %w", err)
 		}
 	}
+	fl, _ := cfg.Loss.(FrameLossModel)
 	return &Medium{
 		sched:       sched,
 		reg:         reg,
@@ -161,8 +188,21 @@ func NewMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg Config) (*Medium
 		grid:        make(map[cellKey][]NodeID),
 		air:         newAir(),
 		collisionCt: reg.Counter(CatCollision),
+		frameLoss:   fl,
 	}, nil
 }
+
+// SetLoss replaces the medium's loss model (nil restores lossless
+// delivery). Tests use it to wrap the configured model with targeted
+// drops — e.g. losing exactly the first failure report of a run.
+func (m *Medium) SetLoss(l LossModel) {
+	m.cfg.Loss = l
+	m.frameLoss, _ = l.(FrameLossModel)
+}
+
+// Loss returns the medium's current loss model (nil when lossless), so a
+// wrapper installed via SetLoss can delegate to it.
+func (m *Medium) Loss() LossModel { return m.cfg.Loss }
 
 // Attach registers a station at its current position. Attaching an ID that
 // is already present replaces the previous station.
@@ -330,7 +370,34 @@ func (m *Medium) Send(f Frame) {
 	m.sched.After(m.cfg.Latency, func() { m.deliver(f, pos, rng) })
 }
 
+// CatBlackout is the metrics category counting transmissions swallowed
+// whole by a regional radio blackout (the sender was inside a silenced
+// region). Receivers silently missing a frame are not counted, matching
+// how range and loss drops are accounted.
+const CatBlackout = "blackout_drop"
+
+// lost reports whether frame f fails to decode at dst, consulting the
+// frame-aware model when the configured loss model provides one.
+func (m *Medium) lost(f Frame, dst NodeID) bool {
+	if m.cfg.Loss == nil {
+		return false
+	}
+	if m.frameLoss != nil {
+		return m.frameLoss.DropFrame(f, dst)
+	}
+	return m.cfg.Loss.Drop(f.Src, dst)
+}
+
+// silenced reports whether a station at p is inside a blackout region.
+func (m *Medium) silenced(p geom.Point) bool {
+	return m.cfg.Outage != nil && m.cfg.Outage.Silenced(p)
+}
+
 func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
+	if m.silenced(from) {
+		m.reg.CountTx(CatBlackout, 1)
+		return
+	}
 	if f.Dst != IDBroadcast {
 		dst, ok := m.stations[f.Dst]
 		if !ok || !dst.RadioActive() {
@@ -339,7 +406,10 @@ func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
 		if from.Dist2(dst.RadioPos()) > rng*rng {
 			return
 		}
-		if m.cfg.Loss != nil && m.cfg.Loss.Drop(f.Src, f.Dst) {
+		if m.silenced(dst.RadioPos()) {
+			return
+		}
+		if m.lost(f, f.Dst) {
 			return
 		}
 		dst.HandleFrame(f)
@@ -347,7 +417,10 @@ func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
 	}
 	buf := m.neighbors(from, rng, f.Src)
 	for _, s := range buf {
-		if m.cfg.Loss != nil && m.cfg.Loss.Drop(f.Src, s.RadioID()) {
+		if m.silenced(s.RadioPos()) {
+			continue
+		}
+		if m.lost(f, s.RadioID()) {
 			continue
 		}
 		s.HandleFrame(f)

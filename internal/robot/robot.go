@@ -53,6 +53,9 @@ type Config struct {
 	Cargo int
 	// Depot is where a cargo-limited robot reloads.
 	Depot geom.Point
+	// Reliability configures heartbeats, acknowledgements, and manager
+	// failover (extension; the zero value disables all of it).
+	Reliability Reliability
 }
 
 // Task is one queued repair job.
@@ -87,6 +90,15 @@ type Hooks struct {
 	// OnPublish fires whenever the robot disseminates a location update
 	// (including the initial announcement, sequence 1).
 	OnPublish func(r *Robot, up wire.RobotUpdate)
+	// OnFail fires when the robot breaks down, with the tasks stranded in
+	// its queue (current task included).
+	OnFail func(r *Robot, stranded []Task)
+	// OnTakeover fires when this robot assumes the manager role after
+	// detecting the manager's death.
+	OnTakeover func(r *Robot)
+	// OnRedispatch fires when this robot, acting as manager, re-issues an
+	// outstanding repair request to another robot.
+	OnRedispatch func(req wire.RepairRequest, to radio.NodeID, attempt int)
 }
 
 // Robot is a mobile maintainer (and, in the distributed algorithms, a
@@ -120,6 +132,19 @@ type Robot struct {
 	restocking bool // current leg heads to the depot, not the task
 	restocks   int
 	failed     bool
+
+	// Reliability-extension state (inert when cfg.Reliability is zero).
+	relTicker     *sim.Ticker
+	mgrID         radio.NodeID
+	mgrLoc        geom.Point
+	lastMgrAck    sim.Time
+	takeoverEv    sim.Event
+	takeoverArmed bool
+	managing      bool
+	stranded      []Task
+	seen          map[radio.NodeID]bool         // failed IDs already queued or dispatched
+	peers         map[radio.NodeID]peerState    // other robots, by last heartbeat
+	outstanding   map[radio.NodeID]*outDispatch // managing role: issued requests by failed ID
 }
 
 var _ radio.Station = (*Robot)(nil)
@@ -141,6 +166,11 @@ func New(id radio.NodeID, pos geom.Point, cfg Config, mode UpdateMode, medium *r
 		anchorTime: medium.Scheduler().Now(),
 		indexedPos: pos,
 		cargo:      cargo,
+	}
+	if cfg.Reliability.Enabled() {
+		r.seen = make(map[radio.NodeID]bool)
+		r.peers = make(map[radio.NodeID]peerState)
+		r.outstanding = make(map[radio.NodeID]*outDispatch)
 	}
 	r.router = &netstack.Router{
 		ID:     id,
@@ -225,9 +255,25 @@ func (r *Robot) FailNow() {
 	r.settle(r.Pos())
 	r.sched.Cancel(r.arriveEv)
 	r.sched.Cancel(r.updateEv)
+	r.sched.Cancel(r.takeoverEv)
+	if r.relTicker != nil {
+		r.relTicker.Stop()
+	}
+	var stranded []Task
+	if r.current != nil {
+		stranded = append(stranded, *r.current)
+	}
+	stranded = append(stranded, r.queue...)
 	r.current = nil
 	r.queue = nil
 	r.failed = true
+	r.stranded = stranded
+	if len(stranded) > 0 {
+		r.medium.Metrics().Observe(metrics.SeriesStrandedTasks, float64(len(stranded)))
+	}
+	if r.hooks.OnFail != nil {
+		r.hooks.OnFail(r, stranded)
+	}
 }
 
 // Start attaches the robot to the medium and publishes its initial
@@ -236,6 +282,17 @@ func (r *Robot) FailNow() {
 func (r *Robot) Start(initDelay sim.Duration) {
 	r.medium.Attach(r)
 	r.sched.After(initDelay, r.publish)
+	rel := r.cfg.Reliability
+	if rel.Enabled() {
+		r.mgrID = rel.Manager
+		r.mgrLoc = rel.ManagerLoc
+		r.lastMgrAck = r.sched.Now()
+		t, err := r.sched.NewTicker(rel.HeartbeatPeriod, rel.HeartbeatPeriod, r.relTick)
+		if err != nil {
+			panic(err) // unreachable: Enabled() implies a positive period
+		}
+		r.relTicker = t
+	}
 }
 
 // HandleFrame implements radio.Station.
@@ -245,9 +302,30 @@ func (r *Robot) HandleFrame(f radio.Frame) {
 		r.router.Receive(m)
 	case netstack.FloodMsg:
 		// Robots hear each other's floods but do not relay them; only
-		// sensors disseminate location updates (§3.2–3.3).
-	case wire.Beacon, wire.LocationAnnounce, wire.GuardianConfirm:
-		// Robots ignore sensor chatter: their next hops come from radio
+		// sensors disseminate location updates (§3.2–3.3). The reliability
+		// extension listens for takeovers and peer heartbeats.
+		if r.cfg.Reliability.Enabled() && !r.failed {
+			r.handleFloodRel(m)
+		}
+	case wire.RobotUpdate:
+		// One-hop announce from a nearby robot (centralized mode).
+		if r.cfg.Reliability.Enabled() && !r.failed {
+			r.notePeer(m)
+		}
+	case wire.Beacon:
+		// Sensor chatter is ignored in the paper's model; the reliability
+		// extension treats a beacon from a queued task's site as proof the
+		// site is alive (a blackout false positive, or an already-replaced
+		// node) and drops the queued duplicate trip.
+		if r.cfg.Reliability.Enabled() && !r.failed {
+			r.dropQueuedAt(m.Loc)
+		}
+	case wire.LocationAnnounce:
+		if r.cfg.Reliability.Enabled() && !r.failed {
+			r.dropQueuedAt(m.Loc)
+		}
+	case wire.GuardianConfirm:
+		// Robots ignore guardian chatter: their next hops come from radio
 		// range (see netstack.MediumSource).
 	default:
 		_ = m
@@ -256,26 +334,81 @@ func (r *Robot) HandleFrame(f radio.Frame) {
 
 // deliver handles packets addressed to this robot.
 func (r *Robot) deliver(p netstack.Packet) {
+	if r.failed {
+		return
+	}
+	rel := r.cfg.Reliability.Enabled()
 	switch m := p.Payload.(type) {
 	case wire.FailureReport:
 		if r.hooks.OnReportReceived != nil {
 			r.hooks.OnReportReceived(m, p.Hops)
+		}
+		if rel {
+			r.ackReport(m)
+			if r.managing {
+				r.dispatchAsManager(m)
+				return
+			}
 		}
 		r.Enqueue(Task{Failed: m.Failed, Loc: m.Loc, EnqueuedAt: r.sched.Now()})
 	case wire.RepairRequest:
 		if r.hooks.OnRequestReceived != nil {
 			r.hooks.OnRequestReceived(m, p.Hops)
 		}
+		if rel {
+			r.ackDispatch(m)
+		}
 		r.Enqueue(Task{Failed: m.Failed, Loc: m.Loc, EnqueuedAt: r.sched.Now()})
+	case wire.HeartbeatAck:
+		r.lastMgrAck = r.sched.Now()
+	case wire.RobotUpdate:
+		// Worker heartbeat unicast to this robot in its managing role:
+		// track the worker and ack so it knows its manager is alive.
+		if rel {
+			r.notePeer(m)
+			if r.managing && m.Robot != r.id {
+				r.router.Originate(netstack.Packet{
+					Dst:      m.Robot,
+					DstLoc:   m.Loc,
+					Category: metrics.CatAck,
+					Payload:  wire.HeartbeatAck{Manager: r.id, Seq: m.Seq},
+				})
+			}
+		}
+	case wire.DispatchAck:
+		if r.managing {
+			if o, ok := r.outstanding[m.Failed]; ok && o.robot == m.Robot {
+				o.acked = true
+			}
+		}
+	case wire.RepairDone:
+		if r.managing {
+			delete(r.outstanding, m.Failed)
+			delete(r.seen, m.Failed)
+		}
 	}
 }
 
 // Enqueue adds a repair task; the robot serves tasks first-come-first-
-// served (§3.1). Failed robots discard tasks.
+// served (§3.1). Failed robots discard tasks. With the reliability
+// extension on, retransmitted or multiply-reported failures are
+// deduplicated by failed-node ID.
 func (r *Robot) Enqueue(t Task) {
 	if r.failed {
 		return
 	}
+	if r.seen != nil {
+		if r.seen[t.Failed] {
+			return
+		}
+		r.seen[t.Failed] = true
+	}
+	r.enqueueTask(t)
+}
+
+// enqueueTask queues or starts a task, bypassing deduplication (used by
+// the managing role, which marks the seen set itself).
+func (r *Robot) enqueueTask(t Task) {
 	if r.current != nil {
 		r.queue = append(r.queue, t)
 		return
@@ -356,8 +489,25 @@ func (r *Robot) publish() {
 	if r.current != nil {
 		load++
 	}
-	up := wire.RobotUpdate{Robot: r.id, Loc: r.Pos(), Seq: r.seq, Load: load}
-	r.mode.Publish(r, up)
+	up := wire.RobotUpdate{Robot: r.id, Loc: r.Pos(), Seq: r.seq, Load: load, Managing: r.managing}
+	if r.managing {
+		// A mobile manager floods its updates network-wide so every sensor
+		// keeps a fresh route to it.
+		r.medium.Send(radio.Frame{
+			Src:      r.id,
+			Dst:      radio.IDBroadcast,
+			Category: metrics.CatLocUpdate,
+			Payload: netstack.FloodMsg{
+				Origin:   r.id,
+				Seq:      r.seq,
+				Category: metrics.CatLocUpdate,
+				Payload:  up,
+				TTL:      r.cfg.Reliability.floodTTL(),
+			},
+		})
+	} else {
+		r.mode.Publish(r, up)
+	}
 	if r.hooks.OnPublish != nil {
 		r.hooks.OnPublish(r, up)
 	}
@@ -413,6 +563,12 @@ func (r *Robot) finish(t Task, dist float64) {
 	reg.Observe(metrics.SeriesTravelPerFailure, dist)
 	reg.Observe(metrics.SeriesRepairDelay, float64(r.sched.Now().Sub(t.EnqueuedAt)))
 	reg.Observe(metrics.SeriesQueueLength, float64(len(r.queue)))
+	if r.seen != nil {
+		// The site is repaired: a genuine re-failure there may be reported
+		// (and served) anew.
+		delete(r.seen, t.Failed)
+		r.reportDone(t.Failed)
+	}
 	r.current = nil
 	if len(r.queue) == 0 {
 		// Arrival update (§3: "After replacing a failed node, the

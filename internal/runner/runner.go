@@ -12,6 +12,7 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -82,9 +83,10 @@ type Options struct {
 
 // Run executes every job on a pool of workers and returns the results in
 // input order, alongside aggregate statistics. Individual run failures do
-// not stop the grid; the first failure (by input order) is also returned
-// as the error so single-run callers can stay on the familiar
-// (value, error) contract.
+// not stop the grid; every failure (annotated with its job index, in
+// input order) is aggregated into the returned error with errors.Join,
+// so single-run callers keep the familiar (value, error) contract and
+// grid callers see the complete failure picture.
 func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 	procs := opts.Procs
 	if procs <= 0 {
@@ -125,18 +127,16 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 	wg.Wait()
 
 	stats := Stats{Runs: len(jobs), Procs: procs, Wall: time.Since(start)}
-	var firstErr error
+	var errs []error
 	for i := range results {
 		if results[i].Err != nil {
 			stats.Failed++
-			if firstErr == nil {
-				firstErr = fmt.Errorf("runner: job %d: %w", i, results[i].Err)
-			}
+			errs = append(errs, fmt.Errorf("runner: job %d: %w", i, results[i].Err))
 			continue
 		}
 		stats.SimSeconds += results[i].Job.Config.SimTime
 	}
-	return results, stats, firstErr
+	return results, stats, errors.Join(errs...)
 }
 
 // Seeds returns the conventional seed list 1..n.

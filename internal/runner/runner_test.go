@@ -2,6 +2,8 @@ package runner
 
 import (
 	"encoding/json"
+	"errors"
+	"strings"
 	"testing"
 
 	"roborepair/internal/core"
@@ -105,20 +107,35 @@ func TestRunReportsStats(t *testing.T) {
 	}
 }
 
-func TestRunSurfacesFirstErrorWithoutAborting(t *testing.T) {
+func TestRunJoinsAllErrorsWithoutAborting(t *testing.T) {
 	bad := tinyConfig(core.Dynamic, 1)
 	bad.Robots = 0 // fails validation
+	worse := tinyConfig(core.Fixed, 2)
+	worse.SimTime = -1 // also fails validation
 	jobs := []Job{
 		{Config: tinyConfig(core.Dynamic, 1)},
 		{Config: bad},
 		{Config: tinyConfig(core.Fixed, 2)},
+		{Config: worse},
 	}
 	results, stats, err := Run(jobs, Options{Procs: 2})
 	if err == nil {
-		t.Fatal("expected the invalid job's error")
+		t.Fatal("expected the invalid jobs' errors")
 	}
-	if stats.Failed != 1 {
-		t.Fatalf("Failed = %d, want 1", stats.Failed)
+	if stats.Failed != 2 {
+		t.Fatalf("Failed = %d, want 2", stats.Failed)
+	}
+	// errors.Join keeps every failure addressable via errors.Is and
+	// renders them all, annotated with the job index, in input order.
+	if !errors.Is(err, results[1].Err) || !errors.Is(err, results[3].Err) {
+		t.Fatalf("joined error lost a member: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "job 1") || !strings.Contains(msg, "job 3") {
+		t.Fatalf("joined error not annotated with job indices: %q", msg)
+	}
+	if strings.Index(msg, "job 1") > strings.Index(msg, "job 3") {
+		t.Fatalf("joined errors out of input order: %q", msg)
 	}
 	if results[0].Err != nil || results[2].Err != nil {
 		t.Fatal("healthy jobs should still have run")

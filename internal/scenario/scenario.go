@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"roborepair/internal/chaos"
 	"roborepair/internal/core"
 	"roborepair/internal/failure"
 	"roborepair/internal/geom"
@@ -103,6 +104,68 @@ type Config struct {
 	// shortest-ETA dispatch (future-work extension; the paper dispatches
 	// to the closest robot regardless of its queue).
 	ETADispatch bool `json:"etaDispatch"`
+	// Faults, when non-nil, schedules a declarative fault plan: robot
+	// breakdowns, message-loss bursts, regional radio blackouts, and a
+	// manager crash (robustness extension). The plan replays
+	// deterministically for a fixed (Config, Faults, Seed).
+	Faults *chaos.FaultPlan `json:"faults,omitempty"`
+	// Reliability enables and tunes the repair-reliability protocol:
+	// acknowledged, retransmitted failure reports; robot heartbeats and
+	// liveness tracking; re-dispatch and manager failover (robustness
+	// extension; disabled by default, reproducing the paper's
+	// fire-and-forget model).
+	Reliability ReliabilityConfig `json:"reliability,omitempty"`
+}
+
+// ReliabilityConfig tunes the repair-reliability protocol. All durations
+// are seconds; zero fields take the documented defaults when Enabled.
+type ReliabilityConfig struct {
+	// Enabled switches the whole protocol on.
+	Enabled bool `json:"enabled,omitempty"`
+	// ReportRetryS is the initial report-retransmission backoff (15).
+	ReportRetryS float64 `json:"reportRetryS,omitempty"`
+	// ReportRetryMaxS caps the exponential backoff (120).
+	ReportRetryMaxS float64 `json:"reportRetryMaxS,omitempty"`
+	// ReportRetryLimit caps total transmissions of one report; 0 retries
+	// until acked or the repair is observed.
+	ReportRetryLimit int `json:"reportRetryLimit,omitempty"`
+	// HeartbeatS is the robot/manager heartbeat period (30).
+	HeartbeatS float64 `json:"heartbeatS,omitempty"`
+	// MissedHeartbeats declares a robot or manager dead after this many
+	// silent periods (3).
+	MissedHeartbeats int `json:"missedHeartbeats,omitempty"`
+	// DispatchAckTimeoutS is the dispatcher's initial re-dispatch timeout
+	// for unacknowledged repair requests (60).
+	DispatchAckTimeoutS float64 `json:"dispatchAckTimeoutS,omitempty"`
+	// WatchGraceS delays neighbor-watch reports so the guardian's report
+	// usually wins and watchers stay silent (900).
+	WatchGraceS float64 `json:"watchGraceS,omitempty"`
+}
+
+// withDefaults fills unset knobs with the documented defaults.
+func (rc ReliabilityConfig) withDefaults() ReliabilityConfig {
+	if !rc.Enabled {
+		return rc
+	}
+	if rc.ReportRetryS <= 0 {
+		rc.ReportRetryS = 15
+	}
+	if rc.ReportRetryMaxS <= 0 {
+		rc.ReportRetryMaxS = 120
+	}
+	if rc.HeartbeatS <= 0 {
+		rc.HeartbeatS = 30
+	}
+	if rc.MissedHeartbeats <= 0 {
+		rc.MissedHeartbeats = 3
+	}
+	if rc.DispatchAckTimeoutS <= 0 {
+		rc.DispatchAckTimeoutS = 60
+	}
+	if rc.WatchGraceS <= 0 {
+		rc.WatchGraceS = 900
+	}
+	return rc
 }
 
 // DefaultConfig returns the paper's experimental parameters (§4.1) with
@@ -153,6 +216,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: sim time %v not positive", c.SimTime)
 	case c.LossP < 0 || c.LossP >= 1:
 		return fmt.Errorf("scenario: loss probability %v outside [0,1)", c.LossP)
+	case c.Reliability.ReportRetryS < 0 || c.Reliability.HeartbeatS < 0 ||
+		c.Reliability.DispatchAckTimeoutS < 0:
+		return fmt.Errorf("scenario: reliability durations must be non-negative")
+	}
+	if err := c.Faults.Validate(c.Robots); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	return nil
 }
@@ -196,6 +265,29 @@ type Results struct {
 	// Coverage (populated only when Config.SensingRange > 0).
 	MeanCoverage float64 `json:"meanCoverage"`
 	MinCoverage  float64 `json:"minCoverage"`
+
+	// Degradation metrics (robustness extension; the counters below are
+	// all zero in the paper's fault-free model).
+	//
+	// UnrepairedFailures counts deployment sites with no live sensor at
+	// the horizon: a failure happened there and no replacement covers it.
+	// Failures injected shortly before the horizon are included (their
+	// repair is still in flight), so it is small but nonzero even in
+	// fault-free runs.
+	UnrepairedFailures int `json:"unrepairedFailures"`
+	StrandedTasks      int `json:"strandedTasks"`
+	RequeuedTasks      int `json:"requeuedTasks"`
+	ReportRetx         int `json:"reportRetx"`
+	ReportsAbandoned   int `json:"reportsAbandoned"`
+	Redispatches       int `json:"redispatches"`
+	ManagerTakeovers   int `json:"managerTakeovers"`
+	// DuplicateRepairs counts robot visits to a site another robot had
+	// already repaired (duplicate reports crossing dispatcher boundaries
+	// under faults). The trip is spent; no node is replaced.
+	DuplicateRepairs int `json:"duplicateRepairs"`
+	// MeanFaultRecovery averages the fault_recovery_s series: takeover
+	// latency after a manager crash and drain latency of re-queued tasks.
+	MeanFaultRecovery float64 `json:"meanFaultRecoveryS"`
 
 	// Registry holds the full per-category accounting.
 	Registry *metrics.Registry `json:"-"`

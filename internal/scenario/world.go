@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
+	"roborepair/internal/chaos"
 	"roborepair/internal/core"
 	"roborepair/internal/coverage"
 	"roborepair/internal/failure"
@@ -44,6 +46,20 @@ type World struct {
 	requestsIssued    int
 	requestsDelivered int
 	repairs           int
+
+	// Reliability/fault state (robustness extension).
+	relNode        node.Reliability // sensor-side knobs; zero when disabled
+	strandedTasks  int
+	requeuedTasks  int
+	reportRetx     int
+	reportsAban    int
+	redispatches   int
+	takeovers      int
+	managerCrashAt sim.Time                      // -1 until the planned crash fires
+	requeuedAt     map[radio.NodeID]sim.Time     // failed ID → when its task was re-queued
+	siteIDs        map[geom.Point][]radio.NodeID // every sensor ever placed at a site
+	dupRepair      bool                          // spawnReplacement→OnTaskDone handshake for the current repair
+	dupRepairs     int
 }
 
 // New builds a world from the configuration.
@@ -53,21 +69,36 @@ func New(cfg Config) (*World, error) {
 	}
 	sched := sim.NewScheduler()
 	reg := metrics.NewRegistry()
+	// The fault plan's loss bursts and blackouts wrap the base loss model;
+	// the burst draws come from their own stream so an (in)active burst
+	// never perturbs the base loss sequence.
+	loss := cfg.lossModel(rng.Split(cfg.Seed, "loss"))
+	var outage radio.OutageModel
+	if cfg.Faults != nil {
+		if len(cfg.Faults.LossBursts) > 0 {
+			loss = chaos.NewLossInjector(cfg.Faults.LossBursts, loss, sched.Now, rng.Split(cfg.Seed, "chaos-loss"))
+		}
+		if o := chaos.NewRegionOutage(cfg.Faults.Blackouts, sched.Now); o != nil {
+			outage = o
+		}
+	}
 	medium, err := radio.NewMedium(sched, reg, radio.Config{
 		CellSize:   cfg.SensorRange,
-		Loss:       cfg.lossModel(rng.Split(cfg.Seed, "loss")),
+		Loss:       loss,
+		Outage:     outage,
 		Contention: cfg.contentionModel(rng.Split(cfg.Seed, "mac")),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	w := &World{
-		Cfg:      cfg,
-		Sched:    sched,
-		Medium:   medium,
-		Registry: reg,
-		Sensors:  make(map[radio.NodeID]*node.Sensor, cfg.NumSensors()),
-		nextID:   1,
+		Cfg:            cfg,
+		Sched:          sched,
+		Medium:         medium,
+		Registry:       reg,
+		Sensors:        make(map[radio.NodeID]*node.Sensor, cfg.NumSensors()),
+		nextID:         1,
+		managerCrashAt: -1,
 	}
 	w.Injector = failure.NewInjector(sched, cfg.lifetimeModel(rng.Split(cfg.Seed, "lifetimes")))
 	if cfg.TraceCapacity != 0 {
@@ -100,6 +131,24 @@ func New(cfg Config) (*World, error) {
 	managerID := radio.NodeID(cfg.Robots + 1)
 	w.nextID = radio.NodeID(cfg.Robots + 2)
 
+	rel := cfg.Reliability.withDefaults()
+	if rel.Enabled {
+		w.relNode = node.Reliability{
+			RetryBase:     sim.Duration(rel.ReportRetryS),
+			RetryMax:      sim.Duration(rel.ReportRetryMaxS),
+			RetryLimit:    rel.ReportRetryLimit,
+			RobotExpiry:   sim.Duration(rel.HeartbeatS) * sim.Duration(rel.MissedHeartbeats),
+			OrphanAdopt:   true,
+			NeighborWatch: true,
+			WatchGrace:    sim.Duration(rel.WatchGraceS),
+		}
+		if cfg.Algorithm == core.Centralized {
+			w.relNode.Manager = managerID
+		}
+		w.requeuedAt = make(map[radio.NodeID]sim.Time)
+		w.siteIDs = make(map[geom.Point][]radio.NodeID)
+	}
+
 	// Algorithm wiring: sensor policy and robot update mode.
 	var mode robot.UpdateMode
 	switch cfg.Algorithm {
@@ -123,7 +172,21 @@ func New(cfg Config) (*World, error) {
 					Node: req.Failed, Actor: to, Loc: req.Loc,
 				})
 			},
+			OnRedispatch: func(req wire.RepairRequest, to radio.NodeID, _ int) {
+				w.redispatches++
+				w.trace(trace.Event{
+					At: sched.Now(), Kind: trace.KindRedispatch,
+					Node: req.Failed, Actor: to, Loc: req.Loc,
+				})
+			},
 		})
+		if rel.Enabled {
+			w.Manager.SetReliability(core.ManagerReliability{
+				HeartbeatPeriod:    sim.Duration(rel.HeartbeatS),
+				MissedHeartbeats:   rel.MissedHeartbeats,
+				DispatchAckTimeout: sim.Duration(rel.DispatchAckTimeoutS),
+			})
+		}
 	case core.Fixed:
 		home := make(map[radio.NodeID]int, cfg.Robots)
 		for i, id := range robotIDs {
@@ -149,10 +212,21 @@ func New(cfg Config) (*World, error) {
 	robotHooks := robot.Hooks{
 		SpawnReplacement: w.spawnReplacement,
 		OnTaskDone: func(r *robot.Robot, t robot.Task, _ float64, delay sim.Duration) {
+			if w.dupRepair {
+				// The site was already repaired by another robot (duplicate
+				// reports can cross dispatcher boundaries under faults):
+				// the trip happened but no node was replaced.
+				w.dupRepair = false
+				return
+			}
 			w.repairs++
 			// 30 s buckets cover 0..2 h of repair delay; the tail beyond
 			// that reports exactly via overflow.
 			reg.Histogram(HistRepairDelay, 30, 240).Add(float64(delay))
+			if at, ok := w.requeuedAt[t.Failed]; ok {
+				delete(w.requeuedAt, t.Failed)
+				reg.Observe(metrics.SeriesFaultRecovery, float64(sched.Now().Sub(at)))
+			}
 			w.trace(trace.Event{
 				At: sched.Now(), Kind: trace.KindReplacement,
 				Node: t.Failed, Actor: r.ID(), Loc: t.Loc,
@@ -176,6 +250,43 @@ func New(cfg Config) (*World, error) {
 				Node: r.ID(), Actor: r.ID(), Loc: up.Loc,
 			})
 		},
+		OnFail: func(r *robot.Robot, stranded []robot.Task) {
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindRobotFailure,
+				Node: r.ID(), Actor: r.ID(), Loc: r.Pos(),
+			})
+			w.strandedTasks += len(stranded)
+			for _, t := range stranded {
+				w.trace(trace.Event{
+					At: sched.Now(), Kind: trace.KindTaskStranded,
+					Node: t.Failed, Actor: r.ID(), Loc: t.Loc,
+				})
+			}
+			// Under the distributed algorithms the dead robot's neighbors
+			// absorb its pending work (the centralized manager re-dispatches
+			// through its own liveness tracking instead).
+			if rel.Enabled && cfg.Algorithm != core.Centralized {
+				w.requeueStranded(stranded)
+			}
+		},
+		OnTakeover: func(r *robot.Robot) {
+			w.takeovers++
+			w.relNode.Manager = r.ID() // future replacement sensors track the elected manager
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindTakeover,
+				Node: r.ID(), Actor: r.ID(), Loc: r.Pos(),
+			})
+			if w.managerCrashAt >= 0 {
+				reg.Observe(metrics.SeriesFaultRecovery, float64(sched.Now().Sub(w.managerCrashAt)))
+			}
+		},
+		OnRedispatch: func(req wire.RepairRequest, to radio.NodeID, _ int) {
+			w.redispatches++
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindRedispatch,
+				Node: req.Failed, Actor: to, Loc: req.Loc,
+			})
+		},
 	}
 	rcfg := robot.Config{
 		Speed:           cfg.RobotSpeed,
@@ -190,6 +301,17 @@ func New(cfg Config) (*World, error) {
 		rcfg.Cargo = cfg.CargoCapacity
 		rcfg.Depot = bounds.Center()
 	}
+	if rel.Enabled {
+		rcfg.Reliability = robot.Reliability{
+			HeartbeatPeriod:    sim.Duration(rel.HeartbeatS),
+			MissedHeartbeats:   rel.MissedHeartbeats,
+			DispatchAckTimeout: sim.Duration(rel.DispatchAckTimeoutS),
+		}
+		if cfg.Algorithm == core.Centralized {
+			rcfg.Reliability.Manager = managerID
+			rcfg.Reliability.ManagerLoc = bounds.Center()
+		}
+	}
 	for i, id := range robotIDs {
 		var pos geom.Point
 		if cfg.Algorithm == core.Fixed {
@@ -197,7 +319,9 @@ func New(cfg Config) (*World, error) {
 		} else {
 			pos = geom.Pt(deploy.Uniform(0, side), deploy.Uniform(0, side))
 		}
-		r := robot.New(id, pos, rcfg, mode, medium, robotHooks)
+		rc := rcfg
+		rc.Reliability.TakeoverRank = i
+		r := robot.New(id, pos, rc, mode, medium, robotHooks)
 		w.Robots = append(w.Robots, r)
 		r.Start(initDelay)
 		if w.Manager != nil {
@@ -229,7 +353,76 @@ func New(cfg Config) (*World, error) {
 			}
 		})
 	}
+	w.scheduleFaults()
 	return w, nil
+}
+
+// scheduleFaults arms the fault plan's events on the scheduler. Loss
+// bursts and blackouts act through the medium models installed in New;
+// here they only get trace markers.
+func (w *World) scheduleFaults() {
+	plan := w.Cfg.Faults
+	if plan.Empty() {
+		return
+	}
+	sched := w.Sched
+	for _, rf := range plan.RobotFailures {
+		idx := rf.Robot
+		sched.After(sim.Time(rf.At).Sub(sched.Now()), func() {
+			w.Robots[idx].FailNow()
+		})
+	}
+	if plan.ManagerCrashAt > 0 && w.Manager != nil {
+		sched.After(sim.Time(plan.ManagerCrashAt).Sub(sched.Now()), func() {
+			w.managerCrashAt = sched.Now()
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindManagerCrash,
+				Node: w.Manager.ID(), Loc: w.Manager.Pos(),
+			})
+			w.Manager.FailNow()
+		})
+	}
+	if w.Trace != nil {
+		for _, b := range plan.LossBursts {
+			sched.After(sim.Time(b.From).Sub(sched.Now()), func() {
+				w.trace(trace.Event{At: sched.Now(), Kind: trace.KindFault})
+			})
+		}
+		for _, b := range plan.Blackouts {
+			sched.After(sim.Time(b.From).Sub(sched.Now()), func() {
+				w.trace(trace.Event{At: sched.Now(), Kind: trace.KindFault, Loc: b.Center})
+			})
+		}
+	}
+}
+
+// requeueStranded hands a dead robot's pending tasks to the surviving
+// robot closest to each failure site (the distributed algorithms' peer
+// failover; re-queued tasks feed the fault-recovery series on completion).
+func (w *World) requeueStranded(stranded []robot.Task) {
+	now := w.Sched.Now()
+	for _, t := range stranded {
+		var best *robot.Robot
+		bestD := math.Inf(1)
+		for _, r := range w.Robots {
+			if !r.Alive() {
+				continue
+			}
+			if d := r.Pos().Dist2(t.Loc); d < bestD {
+				best, bestD = r, d
+			}
+		}
+		if best == nil {
+			continue // no surviving robot; the failure stays unrepaired
+		}
+		w.requeuedTasks++
+		w.requeuedAt[t.Failed] = now
+		w.trace(trace.Event{
+			At: now, Kind: trace.KindTaskRequeued,
+			Node: t.Failed, Actor: best.ID(), Loc: t.Loc,
+		})
+		best.Enqueue(robot.Task{Failed: t.Failed, Loc: t.Loc, EnqueuedAt: now})
+	}
 }
 
 // startCoverageSampling periodically records the covered field fraction.
@@ -272,6 +465,7 @@ func (w *World) sensorConfig() node.Config {
 		SettleDelay:        settleDelay,
 		FloodTTL:           core.FloodTTL,
 		EfficientBroadcast: w.Cfg.EfficientBroadcast,
+		Reliability:        w.relNode,
 	}
 }
 
@@ -288,11 +482,24 @@ func (w *World) spawnSensor(pos geom.Point, jitter *rng.Source, replacement bool
 				Node: rep.Failed, Actor: rep.Reporter, Loc: rep.Loc,
 			})
 		},
+		OnReportRetx: func(rep wire.FailureReport, _ int) {
+			w.reportRetx++
+			w.trace(trace.Event{
+				At: w.Sched.Now(), Kind: trace.KindReportRetx,
+				Node: rep.Failed, Actor: rep.Reporter, Loc: rep.Loc,
+			})
+		},
+		OnReportAbandoned: func(rep wire.FailureReport) {
+			w.reportsAban++
+		},
 	})
 	if replacement {
 		s.SetTarget(target, targetLoc)
 	}
 	w.Sensors[id] = s
+	if w.siteIDs != nil {
+		w.siteIDs[pos] = append(w.siteIDs[pos], id)
+	}
 	w.Injector.Arm(s)
 	announce := sim.Duration(jitter.Uniform(0.05, 1.0))
 	if replacement {
@@ -304,9 +511,27 @@ func (w *World) spawnSensor(pos geom.Point, jitter *rng.Source, replacement bool
 
 // spawnReplacement implements robot.Hooks.SpawnReplacement.
 func (w *World) spawnReplacement(r *robot.Robot, loc geom.Point) radio.NodeID {
+	if w.siteIDs != nil {
+		for _, id := range w.siteIDs[loc] {
+			s := w.Sensors[id]
+			if s == nil || !s.Alive() {
+				continue
+			}
+			// A live sensor already covers this site — an earlier
+			// replacement, or the original that a radio blackout made look
+			// dead. The visit was a duplicate repair, not a replacement.
+			w.dupRepairs++
+			w.dupRepair = true
+			return id
+		}
+	}
 	var target radio.NodeID
 	var targetLoc geom.Point
-	if w.Manager != nil {
+	if id, mloc, ok := r.ManagerTarget(); ok {
+		// Reliability extension: the deploying robot tracks the current
+		// manager (elected after a crash, or the configured one).
+		target, targetLoc = id, mloc
+	} else if w.Manager != nil {
 		target, targetLoc = w.Manager.ID(), w.Manager.Pos()
 	} else {
 		target, targetLoc = r.ID(), r.Pos()
@@ -355,7 +580,42 @@ func (w *World) results() Results {
 	if w.repairs > 0 {
 		res.LocUpdateTxPerFailure = float64(res.LocUpdateTx) / float64(w.repairs)
 	}
+	res.UnrepairedFailures = w.unrepairedSites()
+	res.StrandedTasks = w.strandedTasks
+	res.RequeuedTasks = w.requeuedTasks
+	res.ReportRetx = w.reportRetx
+	res.ReportsAbandoned = w.reportsAban
+	res.Redispatches = w.redispatches
+	res.ManagerTakeovers = w.takeovers
+	res.DuplicateRepairs = w.dupRepairs
+	if s := reg.Series(metrics.SeriesFaultRecovery); s.N() > 0 {
+		res.MeanFaultRecovery = s.Mean()
+	}
 	return res
+}
+
+// unrepairedSites counts deployment sites where every sensor ever placed
+// (original and replacements alike) is dead at the horizon: a failure
+// happened there and nothing covers it. Sites where a false-positive
+// repair left a live spare next to a later-dying original still count as
+// covered — some node answers for that spot.
+func (w *World) unrepairedSites() int {
+	alive := make(map[geom.Point]bool, len(w.Sensors))
+	dead := make(map[geom.Point]bool)
+	for _, s := range w.Sensors {
+		if s.Alive() {
+			alive[s.Pos()] = true
+		} else {
+			dead[s.Pos()] = true
+		}
+	}
+	n := 0
+	for pos := range dead {
+		if !alive[pos] {
+			n++
+		}
+	}
+	return n
 }
 
 // HistRepairDelay is the registry name of the repair-delay histogram.

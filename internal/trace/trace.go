@@ -24,6 +24,16 @@ const (
 	KindDispatch
 	KindLocationUpdate
 	KindReplacement
+	// Reliability-extension kinds: injected faults and the recovery
+	// machinery reacting to them.
+	KindRobotFailure // a robot broke down (Node = robot)
+	KindTaskStranded // a task died with its robot (Node = failed sensor, Actor = robot)
+	KindTaskRequeued // a stranded task moved to a survivor (Node = failed sensor, Actor = new robot)
+	KindReportRetx   // a guardian retransmitted an unacked report
+	KindRedispatch   // the dispatcher re-issued an outstanding request
+	KindManagerCrash // the central manager died
+	KindTakeover     // a robot assumed the manager role (Node = new manager)
+	KindFault        // an injected environmental fault window opened (loss burst, blackout)
 )
 
 // String names the kind.
@@ -41,6 +51,22 @@ func (k Kind) String() string {
 		return "location-update"
 	case KindReplacement:
 		return "replacement"
+	case KindRobotFailure:
+		return "robot-failure"
+	case KindTaskStranded:
+		return "task-stranded"
+	case KindTaskRequeued:
+		return "task-requeued"
+	case KindReportRetx:
+		return "report-retx"
+	case KindRedispatch:
+		return "redispatch"
+	case KindManagerCrash:
+		return "manager-crash"
+	case KindTakeover:
+		return "takeover"
+	case KindFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -45,6 +45,50 @@ type FailureReport struct {
 	Loc        geom.Point
 	Reporter   radio.NodeID
 	DetectedAt sim.Time
+	// Seq numbers the reporter's reports so retransmissions can be
+	// acknowledged individually. Zero in the paper's fire-and-forget
+	// model; assigned only when the reliability extension is enabled.
+	Seq uint64
+	// ReporterLoc lets the receiver geographically route an ack back to
+	// the reporter. The zero point means "no ack expected".
+	ReporterLoc geom.Point
+}
+
+// ReportAck confirms reception of a FailureReport. It is routed back to
+// the reporter, which stops retransmitting that report.
+type ReportAck struct {
+	Reporter radio.NodeID
+	Failed   radio.NodeID
+	Seq      uint64
+}
+
+// HeartbeatAck is the manager's answer to a robot's RobotUpdate unicast.
+// Robots use the absence of acks to detect a dead manager.
+type HeartbeatAck struct {
+	Manager radio.NodeID
+	Seq     uint64
+}
+
+// DispatchAck confirms that a robot accepted a RepairRequest, so the
+// dispatcher stops re-sending it.
+type DispatchAck struct {
+	Robot  radio.NodeID
+	Failed radio.NodeID
+}
+
+// RepairDone tells the dispatcher a repair completed, clearing the
+// outstanding request so a robot death afterwards does not re-dispatch it.
+type RepairDone struct {
+	Robot  radio.NodeID
+	Failed radio.NodeID
+}
+
+// ManagerTakeover is flooded by the robot that assumes the manager role
+// after the central manager dies. Sensors retarget their reports and
+// robots redirect their location updates to the new manager.
+type ManagerTakeover struct {
+	Manager radio.NodeID
+	Loc     geom.Point
 }
 
 // RepairRequest is forwarded by the central manager to the maintenance
@@ -53,6 +97,12 @@ type RepairRequest struct {
 	Failed   radio.NodeID
 	Loc      geom.Point
 	IssuedAt sim.Time
+	// Manager identifies the dispatcher that issued the request, so the
+	// chosen robot acknowledges the actual requester rather than whoever
+	// it currently believes the manager to be (they can differ during a
+	// failover transient). Zero means the paper's implicit static manager.
+	Manager    radio.NodeID
+	ManagerLoc geom.Point
 }
 
 // RobotUpdate announces a robot's new location. In the centralized
@@ -66,4 +116,10 @@ type RobotUpdate struct {
 	// queued tasks) at publish time. The paper's manager ignores it; the
 	// ETA-dispatch extension uses it to avoid piling work on a busy robot.
 	Load int
+	// Managing marks a heartbeat from a robot holding the manager role
+	// after a takeover. Carrying the claim in every heartbeat makes the
+	// takeover durable: parties that missed the one-shot takeover flood
+	// (silenced by a blackout, or booted later) still converge on the
+	// current manager, and a deposed manager learns to stand down.
+	Managing bool
 }

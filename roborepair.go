@@ -21,6 +21,7 @@
 package roborepair
 
 import (
+	"roborepair/internal/chaos"
 	"roborepair/internal/core"
 	"roborepair/internal/figures"
 	"roborepair/internal/geom"
@@ -42,7 +43,25 @@ type (
 	Algorithm = core.Algorithm
 	// PartitionKind selects the fixed algorithm's subarea shape.
 	PartitionKind = geom.PartitionKind
+	// FaultPlan is a declarative, seeded schedule of injected faults —
+	// robot breakdowns, loss bursts, regional blackouts, a manager crash.
+	// Assign one to Config.Faults; nil injects nothing.
+	FaultPlan = chaos.FaultPlan
+	// ReliabilityConfig enables and tunes the repair-reliability
+	// protocol via Config.Reliability.
+	ReliabilityConfig = scenario.ReliabilityConfig
 )
+
+// ParseFaultPlan builds a fault plan from the compact semicolon-separated
+// syntax of the -fault CLI flags:
+//
+//	robot@T=IDX              robot IDX breaks down at time T
+//	burst@T1-T2=P            loss probability P during [T1,T2)
+//	blackout@T1-T2=X,Y,R     radius-R blackout around (X,Y) during [T1,T2)
+//	mgr@T                    central manager crashes at time T
+//
+// An empty spec yields a nil plan (no faults).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return chaos.Parse(spec) }
 
 // The three coordination algorithms of the paper.
 const (
@@ -80,7 +99,8 @@ func NewWorld(cfg Config) (*World, error) { return scenario.New(cfg) }
 // goroutines (procs ≤ 0 selects GOMAXPROCS) and returns the results in
 // input order. Runs share no state, so each result is bit-identical to a
 // serial Run of the same configuration; failures do not stop the batch,
-// and the first failure (by input order) is returned as the error.
+// and all failures (annotated with their job index, in input order) are
+// aggregated into the returned error with errors.Join.
 func RunMany(cfgs []Config, procs int) ([]Results, error) {
 	jobs := make([]runner.Job, len(cfgs))
 	for i, cfg := range cfgs {
