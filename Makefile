@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke figures validate examples clean
+.PHONY: all build test vet race bench bench-smoke bench-telemetry telemetry-smoke figures validate examples clean
 
 all: build vet test
 
@@ -31,6 +31,24 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerChurn|BenchmarkMediumBroadcast$$|BenchmarkMediumUnicast' -benchtime 1000x ./internal/sim ./internal/radio
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput' -benchtime 2x .
 
+# Telemetry overhead check: the same throughput workload with the layer
+# off and on; the enabled run must stay within 10% on sim-s/s.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput' -benchtime 1x .
+
+# End-to-end exporter check: run a small telemetered simulation, then
+# validate that the Chrome trace parses, the Prometheus text scrapes,
+# and the time-series CSV is well-formed.
+telemetry-smoke:
+	$(GO) run ./cmd/repairsim -alg centralized -simtime 4000 -telemetry \
+		-prom /tmp/roborepair-metrics.txt \
+		-timeseries /tmp/roborepair-timeseries.csv \
+		-chrome-trace /tmp/roborepair-trace.json > /dev/null
+	$(GO) run ./cmd/telemetryck \
+		-chrome /tmp/roborepair-trace.json \
+		-prom /tmp/roborepair-metrics.txt \
+		-csv /tmp/roborepair-timeseries.csv
+
 # Regenerate the paper's figures at the full 64000 s horizon (minutes).
 figures:
 	$(GO) run ./cmd/figures -fig all -seeds 3
@@ -43,6 +61,7 @@ examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/algorithmduel
 	$(GO) run ./examples/mobilityduel
+	$(GO) run ./examples/telemetry > /dev/null
 
 clean:
 	$(GO) clean ./...

@@ -213,3 +213,21 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(simTime*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
 }
+
+// BenchmarkSimulatorThroughputTelemetry is the same workload with the full
+// telemetry layer on (histograms, five gauges at the default cadence).
+// Compare against BenchmarkSimulatorThroughput to measure the enabled
+// overhead; the target is <10% on both ns/op and sim-s/s.
+func BenchmarkSimulatorThroughputTelemetry(b *testing.B) {
+	const simTime = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(roborepair.Dynamic, 16, int64(i+1))
+		cfg.SimTime = simTime
+		cfg.Telemetry.Enabled = true
+		if _, err := roborepair.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(simTime*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+}

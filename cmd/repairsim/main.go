@@ -18,6 +18,7 @@ import (
 
 	"roborepair"
 	"roborepair/internal/chaos"
+	"roborepair/internal/telemetry"
 )
 
 func main() {
@@ -45,10 +46,21 @@ func run(args []string) error {
 	fs.IntVar(&cfg.CargoCapacity, "cargo", 0, "robot cargo capacity; 0 = unlimited")
 	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
 	fs.BoolVar(&cfg.Reliability.Enabled, "reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
+	telemetryOn := fs.Bool("telemetry", false, "enable telemetry and print its summary")
+	prom := fs.String("prom", "", "write metrics in Prometheus text format to this file (implies -telemetry)")
+	timeseries := fs.String("timeseries", "", "write the gauge time series to this CSV file (implies -telemetry)")
+	chromeTrace := fs.String("chrome-trace", "", "write a Chrome trace_event JSON to this file, for chrome://tracing or ui.perfetto.dev (implies -telemetry)")
 	verbose := fs.Bool("v", false, "dump the full metrics registry")
 	asJSON := fs.Bool("json", false, "emit results as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *prom != "" || *timeseries != "" || *chromeTrace != "" {
+		*telemetryOn = true
+	}
+	cfg.Telemetry.Enabled = *telemetryOn
+	if *chromeTrace != "" && cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = -1 // the exporter needs the full causal log
 	}
 	if *fault != "" {
 		plan, err := chaos.Parse(*fault)
@@ -68,8 +80,12 @@ func run(args []string) error {
 	}
 	cfg.EfficientBroadcast = *efficient
 
-	res, err := roborepair.Run(cfg)
+	w, err := roborepair.NewWorld(cfg)
 	if err != nil {
+		return err
+	}
+	res := w.Run()
+	if err := export(w, res, *prom, *timeseries, *chromeTrace); err != nil {
 		return err
 	}
 	if *asJSON {
@@ -94,8 +110,55 @@ func run(args []string) error {
 			res.ReportRetx, res.ReportsAbandoned, res.Redispatches, res.ManagerTakeovers,
 			res.MeanFaultRecovery)
 	}
+	if *telemetryOn {
+		fmt.Print(res.Telemetry.Summary())
+	}
 	if *verbose {
 		fmt.Print(res.Registry.Dump())
+	}
+	return nil
+}
+
+// export writes the requested telemetry artifacts.
+func export(w *roborepair.World, res roborepair.Results, prom, timeseries, chromeTrace string) error {
+	writeFile := func(path string, render func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if prom != "" {
+		err := writeFile(prom, func(f *os.File) error {
+			return telemetry.WritePrometheus(f, res.Registry, res.Telemetry)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if timeseries != "" {
+		err := writeFile(timeseries, func(f *os.File) error {
+			return res.Telemetry.WriteCSV(f)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if chromeTrace != "" {
+		opt := telemetry.ChromeOptions{Collector: res.Telemetry}
+		if w.Manager != nil {
+			opt.ManagerID = w.Manager.ID()
+		}
+		err := writeFile(chromeTrace, func(f *os.File) error {
+			return telemetry.WriteChromeTrace(f, w.Trace, opt)
+		})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

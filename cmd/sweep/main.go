@@ -24,10 +24,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"roborepair"
 	"roborepair/internal/chaos"
 	"roborepair/internal/runner"
+	"roborepair/internal/telemetry"
 )
 
 func main() {
@@ -54,6 +56,10 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "print engine throughput to stderr")
 	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
 	reliable := fs.Bool("reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
+	telemetryOn := fs.Bool("telemetry", false, "enable per-run telemetry collection")
+	timeseries := fs.String("timeseries", "", "write per-run gauge time series to this CSV file (implies -telemetry)")
+	sampleEvery := fs.Float64("sample-every", 0, "gauge sampling cadence in sim seconds (0 = default 250)")
+	progress := fs.Bool("progress", false, "print live grid progress to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
@@ -100,6 +106,10 @@ func run(args []string) error {
 				cfg.Seed = seed
 				cfg.Faults = plan
 				cfg.Reliability.Enabled = *reliable
+				if *telemetryOn || *timeseries != "" {
+					cfg.Telemetry.Enabled = true
+					cfg.Telemetry.SamplePeriodS = *sampleEvery
+				}
 				if err := apply(&cfg, *param, v); err != nil {
 					return err
 				}
@@ -108,12 +118,22 @@ func run(args []string) error {
 		}
 	}
 
-	results, st, err := runner.Run(jobs, runner.Options{Procs: *procs})
+	ropts := runner.Options{Procs: *procs}
+	if *progress {
+		ropts.Progress = runner.ProgressWriter(os.Stderr)
+		ropts.ProgressEvery = 250 * time.Millisecond
+	}
+	results, st, err := runner.Run(jobs, ropts)
 	if err != nil {
 		return err
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, st.String())
+	}
+	if *timeseries != "" {
+		if err := writeTimeSeries(*timeseries, *param, results); err != nil {
+			return err
+		}
 	}
 
 	header := "algorithm,param,value,seed,failures,reports_delivered,repairs," +
@@ -139,6 +159,37 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// writeTimeSeries dumps every run's sampled gauge series into one CSV,
+// each row prefixed with the run-identifying columns. Results arrive in
+// stable input order and sampling is driven by sim time, so the file is
+// byte-identical whatever the worker count.
+func writeTimeSeries(path, param string, results []runner.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	wroteHeader := false
+	for _, r := range results {
+		if r.Err != nil || r.Res.Telemetry == nil {
+			continue
+		}
+		sp := r.Res.Telemetry.Sampler()
+		if !wroteHeader {
+			if err := telemetry.WriteTimeSeriesHeader(f, sp, "algorithm,param,value,seed,"); err != nil {
+				return err
+			}
+			wroteHeader = true
+		}
+		prefix := fmt.Sprintf("%s,%s,%g,%d,",
+			r.Job.Config.Algorithm, param, r.Job.Tag.(cell).value, r.Job.Config.Seed)
+		if err := telemetry.WriteTimeSeriesRows(f, sp, prefix); err != nil {
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func apply(cfg *roborepair.Config, param string, v float64) error {

@@ -7,6 +7,13 @@
 //
 //	tracer -alg dynamic -robots 9 -simtime 16000 > chains.csv
 //	tracer -summary            # distribution summary instead of CSV
+//
+// Fault-plan runs trace degraded behavior; -chrome-trace renders the run's
+// causal log as a Chrome trace_event file with one lane per robot (open it
+// in chrome://tracing or ui.perfetto.dev):
+//
+//	tracer -reliable -fault 'robot@4000=0;burst@4000-8000=0.05' \
+//	       -chrome-trace trace.json -summary
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"roborepair"
 	"roborepair/internal/scenario"
+	"roborepair/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +41,18 @@ func run(args []string) error {
 	fs.Float64Var(&cfg.SimTime, "simtime", 16000, "simulated seconds")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	summary := fs.Bool("summary", false, "print a distribution summary instead of CSV")
+	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
+	fs.BoolVar(&cfg.Reliability.Enabled, "reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
+	chromeTrace := fs.String("chrome-trace", "", "write the causal log as Chrome trace_event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fault != "" {
+		plan, err := roborepair.ParseFaultPlan(*fault)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
 	}
 	alg, err := roborepair.ParseAlgorithm(*algName)
 	if err != nil {
@@ -42,6 +60,10 @@ func run(args []string) error {
 	}
 	cfg.Algorithm = alg
 	cfg.TraceCapacity = -1
+	if *chromeTrace != "" {
+		// The exporter also draws the sampled gauge counters as tracks.
+		cfg.Telemetry.Enabled = true
+	}
 
 	w, err := roborepair.NewWorld(cfg)
 	if err != nil {
@@ -49,6 +71,25 @@ func run(args []string) error {
 	}
 	res := w.Run()
 	chains := w.Trace.Chains()
+
+	if *chromeTrace != "" {
+		opt := telemetry.ChromeOptions{Collector: res.Telemetry}
+		if w.Manager != nil {
+			opt.ManagerID = w.Manager.ID()
+		}
+		f, err := os.Create(*chromeTrace)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, w.Trace, opt); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracer: wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chromeTrace)
+	}
 
 	if *summary {
 		fmt.Printf("run: %s\n", res.Summary())

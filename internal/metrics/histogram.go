@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -129,3 +130,25 @@ func (r *Registry) Histogram(name string, width float64, buckets int) *Histogram
 func (r *Registry) Hist(name string) *Histogram {
 	return r.hists[name]
 }
+
+// HistNames lists all registered histograms, sorted (for exporters).
+func (r *Registry) HistNames() []string {
+	out := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Width reports the fixed bucket width.
+func (h *Histogram) Width() float64 { return h.width }
+
+// Buckets reports the number of regular (non-overflow) buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Count reports the occupancy of bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Sum reports the exact sample total.
+func (h *Histogram) Sum() float64 { return h.acc.Sum() }

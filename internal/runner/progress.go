@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live snapshot of a running grid, delivered to
+// Options.Progress after completed jobs.
+type Progress struct {
+	// Done is the number of jobs completed so far (including failures).
+	Done int
+	// Total is the grid size.
+	Total int
+	// Failed is the number of completed jobs that returned an error.
+	Failed int
+	// Procs is the worker-pool size.
+	Procs int
+	// Elapsed is the wall-clock time since the grid started.
+	Elapsed time.Duration
+	// SimSeconds is the simulated time completed so far.
+	SimSeconds float64
+	// ETA estimates the remaining wall-clock time from the mean pace of
+	// the completed jobs (zero until the first job lands).
+	ETA time.Duration
+	// Utilization is the fraction of worker-time spent inside simulation
+	// runs so far, in [0, 1].
+	Utilization float64
+}
+
+// Rate reports simulated seconds completed per wall-clock second so far.
+func (p Progress) Rate() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return p.SimSeconds / p.Elapsed.Seconds()
+}
+
+// String renders the snapshot as a one-line status.
+func (p Progress) String() string {
+	line := fmt.Sprintf("%d/%d runs (%.0f sim-s/s, %.0f%% util, eta %s)",
+		p.Done, p.Total, p.Rate(), 100*p.Utilization, p.ETA.Round(time.Second))
+	if p.Failed > 0 {
+		line += fmt.Sprintf(" [%d failed]", p.Failed)
+	}
+	return line
+}
+
+// ProgressWriter returns a Progress callback that rewrites a single status
+// line on w (stderr, normally), using \r so a live terminal shows one
+// updating line. Pass it as Options.Progress.
+func ProgressWriter(w io.Writer) func(Progress) {
+	return func(p Progress) {
+		fmt.Fprintf(w, "\r\x1b[K%s", p)
+		if p.Done == p.Total {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// progressState accumulates grid progress behind the runner's result
+// mutex. A nil *progressState is inert, so the runner can call observe and
+// finish unconditionally.
+type progressState struct {
+	fn       func(Progress)
+	every    time.Duration
+	total    int
+	procs    int
+	start    time.Time
+	busy     []atomic.Int64 // shared with the workers
+	done     int
+	failed   int
+	simDone  float64
+	lastEmit time.Time
+}
+
+func newProgressState(opts Options, total, procs int, start time.Time, busy []atomic.Int64) *progressState {
+	if opts.Progress == nil {
+		return nil
+	}
+	return &progressState{
+		fn:       opts.Progress,
+		every:    opts.ProgressEvery,
+		total:    total,
+		procs:    procs,
+		start:    start,
+		busy:     busy,
+		lastEmit: start, // rate-limit from the grid start, not the epoch
+	}
+}
+
+// observe folds one completed job in and emits a snapshot when due.
+// Callers serialize via the runner's result mutex.
+func (ps *progressState) observe(r Result) {
+	if ps == nil {
+		return
+	}
+	ps.done++
+	if r.Err != nil {
+		ps.failed++
+	} else {
+		ps.simDone += r.Job.Config.SimTime
+	}
+	now := time.Now()
+	if ps.done < ps.total && ps.every > 0 && now.Sub(ps.lastEmit) < ps.every {
+		return
+	}
+	ps.lastEmit = now
+	ps.fn(ps.snapshot(now))
+}
+
+func (ps *progressState) snapshot(now time.Time) Progress {
+	elapsed := now.Sub(ps.start)
+	p := Progress{
+		Done:       ps.done,
+		Total:      ps.total,
+		Failed:     ps.failed,
+		Procs:      ps.procs,
+		Elapsed:    elapsed,
+		SimSeconds: ps.simDone,
+	}
+	if ps.done > 0 && ps.done < ps.total {
+		// Pool-wide pace: done jobs took elapsed with the workers already
+		// running in parallel, so the remainder drains at the same rate.
+		p.ETA = elapsed * time.Duration(ps.total-ps.done) / time.Duration(ps.done)
+	}
+	var busyNs int64
+	for i := range ps.busy {
+		busyNs += ps.busy[i].Load()
+	}
+	if elapsed > 0 && ps.procs > 0 {
+		p.Utilization = float64(busyNs) / (float64(elapsed) * float64(ps.procs))
+	}
+	return p
+}

@@ -54,6 +54,23 @@ type Stats struct {
 	Wall time.Duration
 	// SimSeconds is the total simulated time across successful runs.
 	SimSeconds float64
+	// WorkerBusy is the time each worker spent inside simulation runs (as
+	// opposed to idle, waiting for the grid to drain); indexed by worker.
+	WorkerBusy []time.Duration
+}
+
+// Utilization reports the fraction of worker-time spent running
+// simulations, in [0, 1]. A value well below 1 on a long grid means the
+// tail of slow jobs is starving the pool.
+func (s Stats) Utilization() float64 {
+	if s.Wall <= 0 || s.Procs == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range s.WorkerBusy {
+		busy += b
+	}
+	return busy.Seconds() / (s.Wall.Seconds() * float64(s.Procs))
 }
 
 // Throughput reports simulated seconds per wall-clock second.
@@ -66,8 +83,8 @@ func (s Stats) Throughput() float64 {
 
 // String renders the stats as a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d runs on %d workers in %.2fs (%.0f sim-s/s)",
-		s.Runs, s.Procs, s.Wall.Seconds(), s.Throughput())
+	return fmt.Sprintf("%d runs on %d workers in %.2fs (%.0f sim-s/s, %.0f%% util)",
+		s.Runs, s.Procs, s.Wall.Seconds(), s.Throughput(), 100*s.Utilization())
 }
 
 // Options parameterizes an engine invocation.
@@ -79,6 +96,14 @@ type Options struct {
 	// with the worker count — use it for progress reporting, not for
 	// order-dependent collection (the returned slice is already stable).
 	OnResult func(Result)
+	// Progress, when non-nil, receives a live snapshot of the grid after
+	// completed jobs, rate-limited to one call per ProgressEvery, plus a
+	// final snapshot when the grid drains. Calls are serialized. Use
+	// ProgressWriter for the standard stderr rendering.
+	Progress func(Progress)
+	// ProgressEvery is the minimum wall-clock interval between Progress
+	// calls; values ≤ 0 report after every job.
+	ProgressEvery time.Duration
 }
 
 // Run executes every job on a pool of workers and returns the results in
@@ -100,33 +125,46 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 	}
 
 	results := make([]Result, len(jobs))
+	// Per-worker busy nanoseconds; atomics because the progress reporter
+	// reads them while workers are mid-grid.
+	busy := make([]atomic.Int64, procs)
 	start := time.Now()
+	prog := newProgressState(opts, len(jobs), procs, start, busy)
 	var next atomic.Int64
-	var mu sync.Mutex // serializes OnResult
+	var mu sync.Mutex // serializes OnResult and Progress
 	var wg sync.WaitGroup
 	for w := 0; w < procs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
 				}
+				runStart := time.Now()
 				res, err := scenario.Run(jobs[i].Config)
+				busy[worker].Add(int64(time.Since(runStart)))
 				r := Result{Index: i, Job: jobs[i], Res: res, Err: err}
 				results[i] = r
-				if opts.OnResult != nil {
+				if opts.OnResult != nil || prog != nil {
 					mu.Lock()
-					opts.OnResult(r)
+					if opts.OnResult != nil {
+						opts.OnResult(r)
+					}
+					prog.observe(r)
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
-	stats := Stats{Runs: len(jobs), Procs: procs, Wall: time.Since(start)}
+	workerBusy := make([]time.Duration, procs)
+	for w := range busy {
+		workerBusy[w] = time.Duration(busy[w].Load())
+	}
+	stats := Stats{Runs: len(jobs), Procs: procs, Wall: time.Since(start), WorkerBusy: workerBusy}
 	var errs []error
 	for i := range results {
 		if results[i].Err != nil {

@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"roborepair/internal/core"
+)
+
+// TestTelemetryTimeSeriesDeterministicAcrossWorkerCounts locks the sweep
+// contract behind `sweep -timeseries`: the CSV rendered from each run's
+// sampler is byte-identical whether the grid ran on 1 worker or several,
+// because sampling is driven by sim time and reads only sim state.
+func TestTelemetryTimeSeriesDeterministicAcrossWorkerCounts(t *testing.T) {
+	var jobs []Job
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := tinyConfig(core.Dynamic, seed)
+		cfg.Telemetry.Enabled = true
+		jobs = append(jobs, Job{Config: cfg})
+	}
+	render := func(procs int) []byte {
+		results, _, err := Run(jobs, Options{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		for _, r := range results {
+			if err := r.Res.Telemetry.WriteCSV(&b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Bytes()
+	}
+	serial, parallel := render(1), render(3)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("time series differ between 1 and 3 workers:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"roborepair/internal/radio"
 	"roborepair/internal/rng"
 	"roborepair/internal/sim"
+	"roborepair/internal/telemetry"
 )
 
 // Config parameterizes one simulation run. DefaultConfig returns the
@@ -115,6 +116,11 @@ type Config struct {
 	// extension; disabled by default, reproducing the paper's
 	// fire-and-forget model).
 	Reliability ReliabilityConfig `json:"reliability,omitempty"`
+	// Telemetry enables the observability layer: latency histograms, a
+	// sim-time gauge sampler, and the Prometheus/CSV/Chrome-trace
+	// exporters. The zero value disables it entirely and reproduces the
+	// untelemetered simulator's behavior and allocations bit-for-bit.
+	Telemetry telemetry.Config `json:"telemetry,omitempty"`
 }
 
 // ReliabilityConfig tunes the repair-reliability protocol. All durations
@@ -223,6 +229,9 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(c.Robots); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	if err := c.Telemetry.Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	return nil
 }
 
@@ -291,6 +300,10 @@ type Results struct {
 
 	// Registry holds the full per-category accounting.
 	Registry *metrics.Registry `json:"-"`
+
+	// Telemetry holds the run's collector — histograms and the sampled
+	// time series — when Config.Telemetry is enabled; nil otherwise.
+	Telemetry *telemetry.Collector `json:"-"`
 }
 
 // ReportDeliveryRatio returns delivered/sent failure reports (1 when no

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"roborepair/internal/telemetry"
+)
+
+// Telemetry histogram names. Chosen to not collide with the registry's
+// Prometheus-exported series and histogram names.
+const (
+	// TelHistRepairDelay buckets failure→replacement latency (sim seconds).
+	TelHistRepairDelay = "repair_delay_seconds"
+	// TelHistReportHops buckets the hop count of delivered failure reports.
+	TelHistReportHops = "report_delivery_hops"
+	// TelHistReportRetx buckets the retransmission attempt index of each
+	// resent failure report (reliability extension).
+	TelHistReportRetx = "report_retx_attempt"
+	// TelHistTripMeters buckets the per-repair robot trip distance.
+	TelHistTripMeters = "robot_trip_meters"
+)
+
+// Telemetry gauge (time-series column) names, in sampling order.
+const (
+	// GaugePendingFailures is the repair backlog: sensors killed so far
+	// minus replacements deployed.
+	GaugePendingFailures = "pending_failures"
+	// GaugeRobotQueueDepth is the total work queued on robots, counting an
+	// in-service task as one.
+	GaugeRobotQueueDepth = "robot_queue_depth"
+	// GaugeInflightReports is the number of failure reports awaiting an ack
+	// across all sensors (0 unless the reliability extension is on).
+	GaugeInflightReports = "inflight_reports"
+	// GaugeEventQueueDepth is the simulation kernel's pending event count.
+	GaugeEventQueueDepth = "event_queue_depth"
+	// GaugeEventsPerSimSec is the kernel event rate over the last sample
+	// period (events fired per sim second).
+	GaugeEventsPerSimSec = "events_per_simsec"
+)
+
+// startTelemetry builds the collector, registers the standard histograms
+// and gauges, and arms the sampler. Called from New only when
+// Config.Telemetry.Enabled — with telemetry off, World.Telemetry stays nil
+// and every hook feed reduces to one nil check.
+func (w *World) startTelemetry() error {
+	c := telemetry.NewCollector(w.Cfg.Telemetry)
+	w.Telemetry = c
+
+	// Histograms fed by the lifecycle hooks in New. First-bucket widths and
+	// counts size each to the quantity's plausible range: repair delay
+	// 0..8 s through km-scale backlogs, hops and retx small integers, trips
+	// a few meters through field diagonals.
+	w.telRepairDelay = c.LogHistogram(TelHistRepairDelay, 8, 16)
+	w.telReportHops = c.LogHistogram(TelHistReportHops, 1, 8)
+	w.telReportRetx = c.LogHistogram(TelHistReportRetx, 1, 8)
+	w.telTrip = c.LogHistogram(TelHistTripMeters, 4, 16)
+
+	// Gauges read only deterministic simulation state, so sampled series
+	// are identical whatever the surrounding experiment's worker count.
+	c.Gauge(GaugePendingFailures, func() float64 {
+		pending := w.Injector.Killed() - w.repairs
+		if pending < 0 {
+			pending = 0
+		}
+		return float64(pending)
+	})
+	c.Gauge(GaugeRobotQueueDepth, func() float64 {
+		depth := 0
+		for _, r := range w.Robots {
+			depth += r.QueueLen()
+			if r.Busy() {
+				depth++
+			}
+		}
+		return float64(depth)
+	})
+	c.Gauge(GaugeInflightReports, func() float64 {
+		// Map iteration order varies, but a sum of ints is commutative, so
+		// the reading is deterministic.
+		inflight := 0
+		for _, s := range w.Sensors {
+			inflight += s.PendingReports()
+		}
+		return float64(inflight)
+	})
+	c.Gauge(GaugeEventQueueDepth, func() float64 {
+		return float64(w.Sched.Pending())
+	})
+	var lastFired uint64
+	c.Gauge(GaugeEventsPerSimSec, func() float64 {
+		fired := w.Sched.Fired()
+		rate := float64(fired-lastFired) / c.Config().SamplePeriodS
+		lastFired = fired
+		return rate
+	})
+
+	return c.Start(w.Sched)
+}

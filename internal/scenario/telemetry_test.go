@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"roborepair/internal/core"
+	"roborepair/internal/telemetry"
+)
+
+func telTestConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Algorithm = core.Dynamic
+	cfg.SimTime = 3000
+	cfg.MeanLifetime = 4000
+	cfg.Seed = seed
+	return cfg
+}
+
+// resultsJSON fingerprints Results; the Registry and Telemetry fields are
+// excluded from JSON, so this captures exactly the reported quantities.
+func resultsJSON(t *testing.T, r Results) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestTelemetryDoesNotPerturbResults is the layer's core contract: turning
+// telemetry on must not change a single reported quantity. The sampler
+// rides the same scheduler but its gauges only read state.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.Centralized, core.Fixed, core.Dynamic} {
+		cfg := telTestConfig(11)
+		cfg.Algorithm = alg
+		off, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Telemetry.Enabled = true
+		on, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Results echoes the Config, which legitimately differs in the
+		// telemetry field; normalize it so only simulated quantities compare.
+		on.Config.Telemetry = telemetry.Config{}
+		if a, b := resultsJSON(t, off), resultsJSON(t, on); a != b {
+			t.Fatalf("%v: telemetry changed the results:\noff: %s\non:  %s", alg, a, b)
+		}
+		if on.Telemetry == nil {
+			t.Fatalf("%v: enabled run carries no collector", alg)
+		}
+		if off.Telemetry != nil {
+			t.Fatalf("%v: disabled run carries a collector", alg)
+		}
+	}
+}
+
+// TestTelemetryOffAllocations guards the disabled path: with the zero
+// config, a full run must stay under a recorded allocation ceiling — a
+// per-event telemetry leak multiplies the count by the event volume and
+// blows far past it. The ceiling is the measured baseline (~258k for this
+// config) plus headroom for runtime noise; AllocsPerRun itself jitters by
+// a few allocations, so exact equality is deliberately not asserted.
+func TestTelemetryOffAllocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run allocation measurement")
+	}
+	cfg := telTestConfig(3)
+	run := func() float64 {
+		return testing.AllocsPerRun(1, func() {
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run() // warm up lazy runtime state
+	allocs := run()
+	const ceiling = 300_000
+	if allocs > ceiling {
+		t.Fatalf("telemetry-off run allocated %v, ceiling %v — did instrumentation leak into the disabled path?", allocs, ceiling)
+	}
+}
+
+// TestTelemetryHistogramsPopulated checks the hook feeds end-to-end: a run
+// with failures and repairs must land observations in every histogram that
+// has a source in the run (retx stays empty without the reliability
+// protocol).
+func TestTelemetryHistogramsPopulated(t *testing.T) {
+	cfg := telTestConfig(5)
+	cfg.Telemetry.Enabled = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repairs == 0 {
+		t.Fatal("run produced no repairs; pick a harsher config")
+	}
+	c := res.Telemetry
+	for _, name := range []string{TelHistRepairDelay, TelHistReportHops, TelHistTripMeters} {
+		h := c.Hist(name)
+		if h == nil || h.N() == 0 {
+			t.Fatalf("histogram %s empty", name)
+		}
+	}
+	if got, want := int(c.Hist(TelHistRepairDelay).N()), res.Repairs; got != want {
+		t.Fatalf("repair delay observations = %d, repairs = %d", got, want)
+	}
+	if c.Hist(TelHistReportRetx).N() != 0 {
+		t.Fatal("retx histogram fed without the reliability protocol")
+	}
+	sp := c.Sampler()
+	if sp.Len() == 0 {
+		t.Fatal("sampler recorded nothing")
+	}
+	if sp.MaxOf(GaugeEventQueueDepth) == 0 {
+		t.Fatal("event queue depth never sampled above zero")
+	}
+	if sp.MaxOf(GaugeEventsPerSimSec) == 0 {
+		t.Fatal("event rate never sampled above zero")
+	}
+}
+
+// TestTelemetryTimeSeriesDeterministicAcrossRepeats locks the export
+// contract at the single-run level: the same (config, seed) renders a
+// byte-identical CSV run-to-run. The worker-count variant lives in the
+// runner package (which depends on this one).
+func TestTelemetryTimeSeriesDeterministicAcrossRepeats(t *testing.T) {
+	render := func() []byte {
+		cfg := telTestConfig(2)
+		cfg.Telemetry.Enabled = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := res.Telemetry.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if a, b := render(), render(); !bytes.Equal(a, b) {
+		t.Fatalf("time series differ between identical runs:\nrun1:\n%s\nrun2:\n%s", a, b)
+	}
+}
+
+// TestTelemetryPrometheusExport scrapes a real run's exposition text.
+func TestTelemetryPrometheusExport(t *testing.T) {
+	cfg := telTestConfig(5)
+	cfg.Telemetry.Enabled = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := telemetry.WritePrometheus(&b, res.Registry, res.Telemetry); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"roborepair_repair_delay_seconds_bucket",
+		"roborepair_pending_failures",
+		"roborepair_tx_total{",
+	} {
+		if !bytes.Contains(b.Bytes(), []byte(want)) {
+			t.Fatalf("exposition lacks %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestTelemetryConfigValidation rejects a negative cadence via the
+// scenario-level Validate.
+func TestTelemetryConfigValidation(t *testing.T) {
+	cfg := telTestConfig(1)
+	cfg.Telemetry.Enabled = true
+	cfg.Telemetry.SamplePeriodS = -5
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative sample period accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"roborepair/internal/rng"
 	"roborepair/internal/robot"
 	"roborepair/internal/sim"
+	"roborepair/internal/telemetry"
 	"roborepair/internal/trace"
 	"roborepair/internal/wire"
 )
@@ -31,7 +32,8 @@ type World struct {
 	Manager   *core.Manager // nil except for the centralized algorithm
 	Partition *geom.Partition
 	Injector  *failure.Injector
-	Trace     *trace.Log // non-nil only when Config.TraceCapacity != 0
+	Trace     *trace.Log           // non-nil only when Config.TraceCapacity != 0
+	Telemetry *telemetry.Collector // non-nil only when Config.Telemetry.Enabled
 
 	nextID radio.NodeID
 	policy node.Policy
@@ -60,6 +62,13 @@ type World struct {
 	siteIDs        map[geom.Point][]radio.NodeID // every sensor ever placed at a site
 	dupRepair      bool                          // spawnReplacement→OnTaskDone handshake for the current repair
 	dupRepairs     int
+
+	// Telemetry histogram feeds; nil when telemetry is disabled, so the
+	// hooks pay one nil check.
+	telRepairDelay *telemetry.LogHistogram
+	telReportHops  *telemetry.LogHistogram
+	telReportRetx  *telemetry.LogHistogram
+	telTrip        *telemetry.LogHistogram
 }
 
 // New builds a world from the configuration.
@@ -160,6 +169,9 @@ func New(cfg Config) (*World, error) {
 			OnReportReceived: func(rep wire.FailureReport, hops int) {
 				w.reportsDelivered++
 				reg.Observe(metrics.SeriesReportHops, float64(hops))
+				if w.telReportHops != nil {
+					w.telReportHops.Add(float64(hops))
+				}
 				w.trace(trace.Event{
 					At: sched.Now(), Kind: trace.KindReportDelivered,
 					Node: rep.Failed, Actor: managerID, Loc: rep.Loc,
@@ -211,7 +223,11 @@ func New(cfg Config) (*World, error) {
 	// uniformly at random otherwise.
 	robotHooks := robot.Hooks{
 		SpawnReplacement: w.spawnReplacement,
-		OnTaskDone: func(r *robot.Robot, t robot.Task, _ float64, delay sim.Duration) {
+		OnTaskDone: func(r *robot.Robot, t robot.Task, dist float64, delay sim.Duration) {
+			if w.telTrip != nil {
+				// The trip was driven whether or not a node got replaced.
+				w.telTrip.Add(dist)
+			}
 			if w.dupRepair {
 				// The site was already repaired by another robot (duplicate
 				// reports can cross dispatcher boundaries under faults):
@@ -223,6 +239,9 @@ func New(cfg Config) (*World, error) {
 			// 30 s buckets cover 0..2 h of repair delay; the tail beyond
 			// that reports exactly via overflow.
 			reg.Histogram(HistRepairDelay, 30, 240).Add(float64(delay))
+			if w.telRepairDelay != nil {
+				w.telRepairDelay.Add(float64(delay))
+			}
 			if at, ok := w.requeuedAt[t.Failed]; ok {
 				delete(w.requeuedAt, t.Failed)
 				reg.Observe(metrics.SeriesFaultRecovery, float64(sched.Now().Sub(at)))
@@ -235,6 +254,9 @@ func New(cfg Config) (*World, error) {
 		OnReportReceived: func(rep wire.FailureReport, hops int) {
 			w.reportsDelivered++
 			reg.Observe(metrics.SeriesReportHops, float64(hops))
+			if w.telReportHops != nil {
+				w.telReportHops.Add(float64(hops))
+			}
 			w.trace(trace.Event{
 				At: sched.Now(), Kind: trace.KindReportDelivered,
 				Node: rep.Failed, Loc: rep.Loc,
@@ -354,6 +376,11 @@ func New(cfg Config) (*World, error) {
 		})
 	}
 	w.scheduleFaults()
+	if cfg.Telemetry.Enabled {
+		if err := w.startTelemetry(); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
 	return w, nil
 }
 
@@ -482,8 +509,11 @@ func (w *World) spawnSensor(pos geom.Point, jitter *rng.Source, replacement bool
 				Node: rep.Failed, Actor: rep.Reporter, Loc: rep.Loc,
 			})
 		},
-		OnReportRetx: func(rep wire.FailureReport, _ int) {
+		OnReportRetx: func(rep wire.FailureReport, attempt int) {
 			w.reportRetx++
+			if w.telReportRetx != nil {
+				w.telReportRetx.Add(float64(attempt))
+			}
 			w.trace(trace.Event{
 				At: w.Sched.Now(), Kind: trace.KindReportRetx,
 				Node: rep.Failed, Actor: rep.Reporter, Loc: rep.Loc,
@@ -561,6 +591,7 @@ func (w *World) results() Results {
 		RequestsDelivered: w.requestsDelivered,
 		Repairs:           w.repairs,
 		Registry:          reg,
+		Telemetry:         w.Telemetry,
 	}
 	res.AvgTravelPerFailure = reg.Series(metrics.SeriesTravelPerFailure).Mean()
 	res.AvgReportHops = reg.Series(metrics.SeriesReportHops).Mean()

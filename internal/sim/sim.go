@@ -128,12 +128,13 @@ func (q *eventQueue) Pop() any {
 // A Scheduler is not safe for concurrent use; the whole simulation is
 // single-threaded by design so that runs are deterministic.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	free    []*event // recycled event storage
-	fired   uint64
-	stopped bool
+	now       Time
+	seq       uint64
+	queue     eventQueue
+	free      []*event // recycled event storage
+	fired     uint64
+	highWater int // deepest the queue has ever been
+	stopped   bool
 }
 
 // alloc takes an event from the free list, or allocates one.
@@ -169,6 +170,11 @@ func (s *Scheduler) Pending() int { return len(s.queue) }
 // Fired reports the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// HighWater reports the deepest the event queue has ever been — the
+// kernel-side pressure stat behind the telemetry layer's event_queue_depth
+// gauge.
+func (s *Scheduler) HighWater() int { return s.highWater }
+
 // At schedules fn to run at the absolute virtual time at.
 func (s *Scheduler) At(at Time, fn func()) (Event, error) {
 	if at < s.now {
@@ -178,6 +184,9 @@ func (s *Scheduler) At(at Time, fn func()) (Event, error) {
 	ev.at, ev.seq, ev.fn = at, s.seq, fn
 	s.seq++
 	heap.Push(&s.queue, ev)
+	if len(s.queue) > s.highWater {
+		s.highWater = len(s.queue)
+	}
 	return Event{e: ev, gen: ev.gen}, nil
 }
 

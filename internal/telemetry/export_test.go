@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"roborepair/internal/metrics"
+	"roborepair/internal/sim"
+)
+
+// promLine matches one Prometheus exposition sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+
+func scrapeCheck(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty exposition")
+	}
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		if !promLine.MatchString(ln) {
+			t.Fatalf("unscrapeable line: %q", ln)
+		}
+	}
+}
+
+func buildCollector(t *testing.T) *Collector {
+	t.Helper()
+	sched := sim.NewScheduler()
+	c := NewCollector(Config{Enabled: true, SamplePeriodS: 50, RingCapacity: 64})
+	h := c.LogHistogram("repair_delay_s", 8, 12)
+	for _, v := range []float64{5, 30, 200, 9000} {
+		h.Add(v)
+	}
+	c.Counter("events").Add(7)
+	depth := 0.0
+	c.Gauge("queue_depth", func() float64 { depth += 2; return depth })
+	if err := c.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(160)
+	return c
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.CountTx(metrics.CatBeacon, 123)
+	reg.Observe(metrics.SeriesReportHops, 2)
+	reg.Observe(metrics.SeriesReportHops, 4)
+	reg.Histogram("repair_delay_hist", 30, 8).Add(45)
+
+	c := buildCollector(t)
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, reg, c); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	scrapeCheck(t, text)
+
+	for _, want := range []string{
+		`roborepair_tx_total{category="beacon"} 123`,
+		"roborepair_report_hops_count 2",
+		"roborepair_report_hops_sum 6",
+		`roborepair_repair_delay_hist_bucket{le="+Inf"} 1`,
+		"roborepair_events_total 7",
+		`roborepair_repair_delay_s_bucket{le="8"} 1`,
+		"roborepair_repair_delay_s_count 4",
+		"# TYPE roborepair_queue_depth gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+
+	// Histogram bucket counts must be cumulative.
+	if !strings.Contains(text, `roborepair_repair_delay_s_bucket{le="256"} 3`) {
+		t.Errorf("cumulative buckets wrong:\n%s", text)
+	}
+
+	// nil registry and nil collector are both fine.
+	if err := WritePrometheus(&bytes.Buffer{}, nil, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&bytes.Buffer{}, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTimeSeriesCSV(t *testing.T) {
+	c := buildCollector(t)
+	var b bytes.Buffer
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if lines[0] != "t_s,queue_depth" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+c.Sampler().Len() {
+		t.Fatalf("rows = %d, want %d", len(lines)-1, c.Sampler().Len())
+	}
+	if lines[1] != "0,2" {
+		t.Fatalf("baseline row = %q", lines[1])
+	}
+
+	// Prefixed variant (the sweep grid format).
+	b.Reset()
+	if err := WriteTimeSeriesCSV(&b, c.Sampler(), "alg,seed,", "dynamic,3,"); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(b.String(), "\n")
+	if lines[0] != "alg,seed,t_s,queue_depth" {
+		t.Fatalf("prefixed header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "dynamic,3,0,") {
+		t.Fatalf("prefixed row = %q", lines[1])
+	}
+}

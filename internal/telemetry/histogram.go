@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogHistogram is a logarithmically-bucketed histogram: bucket 0 covers
+// [0, first] and every following bucket doubles the upper bound, so a
+// handful of buckets span the five decades between a 10 s repair and a
+// multi-hour blackout backlog with constant relative error. Bucket
+// boundaries are computed by exact float doubling, so a sample equal to a
+// boundary always lands in the bucket the boundary closes.
+type LogHistogram struct {
+	name     string
+	first    float64 // upper bound of bucket 0
+	counts   []uint64
+	overflow uint64
+
+	n        uint64
+	sum      float64
+	min, max float64
+}
+
+// NewLogHistogram returns a histogram whose bucket 0 closes at first and
+// whose last bucket closes at first·2^(buckets−1); larger samples land in
+// overflow. Non-positive first defaults to 1; buckets is clamped to ≥ 1.
+func NewLogHistogram(first float64, buckets int) *LogHistogram {
+	if first <= 0 {
+		first = 1
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &LogHistogram{first: first, counts: make([]uint64, buckets)}
+}
+
+// Name reports the histogram's registered name (empty when standalone).
+func (h *LogHistogram) Name() string { return h.name }
+
+// Buckets reports the number of regular (non-overflow) buckets.
+func (h *LogHistogram) Buckets() int { return len(h.counts) }
+
+// UpperBound reports the inclusive upper bound of bucket i.
+func (h *LogHistogram) UpperBound(i int) float64 {
+	ub := h.first
+	for ; i > 0; i-- {
+		ub *= 2
+	}
+	return ub
+}
+
+// bucketIndex locates the bucket for x ≥ 0, or len(counts) for overflow.
+func (h *LogHistogram) bucketIndex(x float64) int {
+	ub := h.first
+	for i := 0; i < len(h.counts); i++ {
+		if x <= ub {
+			return i
+		}
+		ub *= 2
+	}
+	return len(h.counts)
+}
+
+// Add ingests one sample. Negative samples clamp to bucket 0; NaN is
+// dropped.
+func (h *LogHistogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if h.n == 0 {
+		h.min, h.max = x, x
+	} else {
+		if x < h.min {
+			h.min = x
+		}
+		if x > h.max {
+			h.max = x
+		}
+	}
+	h.n++
+	h.sum += x
+	if x < 0 {
+		x = 0
+	}
+	if i := h.bucketIndex(x); i < len(h.counts) {
+		h.counts[i]++
+	} else {
+		h.overflow++
+	}
+}
+
+// N reports the number of samples.
+func (h *LogHistogram) N() uint64 { return h.n }
+
+// Sum reports the exact sample total.
+func (h *LogHistogram) Sum() float64 { return h.sum }
+
+// Mean reports the exact sample mean, or 0 with no samples.
+func (h *LogHistogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *LogHistogram) Min() float64 { return h.min }
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *LogHistogram) Max() float64 { return h.max }
+
+// Count reports the occupancy of bucket i.
+func (h *LogHistogram) Count(i int) uint64 { return h.counts[i] }
+
+// Overflow reports samples beyond the last bucket.
+func (h *LogHistogram) Overflow() uint64 { return h.overflow }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of the
+// bucket holding the target rank; overflowed mass reports the observed
+// maximum.
+func (h *LogHistogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	ub := h.first
+	for _, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return ub
+		}
+		ub *= 2
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *LogHistogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+		h.n, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"roborepair/internal/sim"
+)
+
+// Sampler snapshots a set of registered gauges on a fixed sim-time cadence
+// into pre-allocated ring buffers (one per gauge plus the timestamp
+// column). When the ring fills, the oldest rows are evicted, keeping the
+// most recent window. Steady-state sampling allocates nothing.
+type Sampler struct {
+	period sim.Duration
+	cap    int
+
+	names []string
+	fns   []func() float64
+
+	times []float64   // ring: sample timestamps (sim seconds)
+	cols  [][]float64 // ring per gauge, parallel to times
+	start int         // index of the oldest retained row
+	n     int         // retained rows
+	drops int         // evicted rows
+}
+
+func newSampler(period sim.Duration, capacity int) *Sampler {
+	return &Sampler{period: period, cap: capacity}
+}
+
+// register adds a gauge; must run before start.
+func (sp *Sampler) register(name string, fn func() float64) {
+	sp.names = append(sp.names, name)
+	sp.fns = append(sp.fns, fn)
+}
+
+// start sizes the rings and arms the ticker: a baseline snapshot at the
+// current virtual time, then one per period.
+func (sp *Sampler) arm(sched *sim.Scheduler, onSample func()) error {
+	sp.times = make([]float64, sp.cap)
+	sp.cols = make([][]float64, len(sp.fns))
+	for i := range sp.cols {
+		sp.cols[i] = make([]float64, sp.cap)
+	}
+	sample := func() {
+		sp.snapshot(sched.Now())
+		if onSample != nil {
+			onSample()
+		}
+	}
+	_, err := sched.NewTicker(0, sp.period, sample)
+	return err
+}
+
+// snapshot appends one row of gauge readings at timestamp now.
+func (sp *Sampler) snapshot(now sim.Time) {
+	idx := (sp.start + sp.n) % sp.cap
+	if sp.n == sp.cap {
+		sp.start = (sp.start + 1) % sp.cap
+		sp.drops++
+	} else {
+		sp.n++
+	}
+	sp.times[idx] = float64(now)
+	for i, fn := range sp.fns {
+		sp.cols[i][idx] = fn()
+	}
+}
+
+// Period reports the sampling cadence in sim seconds.
+func (sp *Sampler) Period() float64 { return float64(sp.period) }
+
+// Len reports the retained row count.
+func (sp *Sampler) Len() int { return sp.n }
+
+// Dropped reports how many rows the ring evicted.
+func (sp *Sampler) Dropped() int { return sp.drops }
+
+// Names lists the gauge column names in registration order.
+func (sp *Sampler) Names() []string { return append([]string(nil), sp.names...) }
+
+// Each calls fn for every retained row in chronological order with the
+// sample timestamp and one value per gauge. The vals slice is reused
+// across calls; copy it to retain.
+func (sp *Sampler) Each(fn func(t float64, vals []float64)) {
+	vals := make([]float64, len(sp.cols))
+	for i := 0; i < sp.n; i++ {
+		idx := (sp.start + i) % sp.cap
+		for j := range sp.cols {
+			vals[j] = sp.cols[j][idx]
+		}
+		fn(sp.times[idx], vals)
+	}
+}
+
+// Last reports the most recent value of the named gauge, or ok=false when
+// the gauge is unknown or nothing was sampled yet.
+func (sp *Sampler) Last(name string) (float64, bool) {
+	if sp.n == 0 {
+		return 0, false
+	}
+	for i, n := range sp.names {
+		if n == name {
+			idx := (sp.start + sp.n - 1) % sp.cap
+			return sp.cols[i][idx], true
+		}
+	}
+	return 0, false
+}
+
+// Series returns a copy of the named gauge's retained values in
+// chronological order, or nil when the gauge is unknown.
+func (sp *Sampler) Series(name string) []float64 {
+	for i, n := range sp.names {
+		if n != name {
+			continue
+		}
+		out := make([]float64, sp.n)
+		for j := 0; j < sp.n; j++ {
+			out[j] = sp.cols[i][(sp.start+j)%sp.cap]
+		}
+		return out
+	}
+	return nil
+}
+
+// Times returns a copy of the retained sample timestamps.
+func (sp *Sampler) Times() []float64 {
+	out := make([]float64, sp.n)
+	for j := 0; j < sp.n; j++ {
+		out[j] = sp.times[(sp.start+j)%sp.cap]
+	}
+	return out
+}
+
+// MaxOf reports the maximum retained value of the named gauge (0 when
+// empty or unknown).
+func (sp *Sampler) MaxOf(name string) float64 {
+	var max float64
+	for _, v := range sp.Series(name) {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

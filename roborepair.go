@@ -21,12 +21,15 @@
 package roborepair
 
 import (
+	"io"
+
 	"roborepair/internal/chaos"
 	"roborepair/internal/core"
 	"roborepair/internal/figures"
 	"roborepair/internal/geom"
 	"roborepair/internal/runner"
 	"roborepair/internal/scenario"
+	"roborepair/internal/telemetry"
 )
 
 // Re-exported simulation types. Config parameterizes a run; Results
@@ -50,6 +53,12 @@ type (
 	// ReliabilityConfig enables and tunes the repair-reliability
 	// protocol via Config.Reliability.
 	ReliabilityConfig = scenario.ReliabilityConfig
+	// TelemetryConfig enables and tunes the observability layer —
+	// histograms, time-series sampling, exporters — via Config.Telemetry.
+	// The zero value disables it with zero overhead.
+	TelemetryConfig = telemetry.Config
+	// TelemetryCollector carries one run's telemetry (Results.Telemetry).
+	TelemetryCollector = telemetry.Collector
 )
 
 // ParseFaultPlan builds a fault plan from the compact semicolon-separated
@@ -117,3 +126,24 @@ func RunMany(cfgs []Config, procs int) ([]Results, error) {
 // ParseAlgorithm converts "centralized", "fixed", or "dynamic" into an
 // Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// WritePrometheus renders a run's full accounting — the metrics registry
+// plus, when telemetry was enabled, the collector's counters, histograms,
+// and latest gauge readings — in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer, res Results) error {
+	return telemetry.WritePrometheus(w, res.Registry, res.Telemetry)
+}
+
+// WriteChromeTrace renders a traced world's causal log as Chrome
+// trace_event JSON (one lane per robot; open in chrome://tracing or
+// ui.perfetto.dev). The world must have been built with
+// Config.TraceCapacity != 0 and run to completion; enabling
+// Config.Telemetry additionally draws the sampled gauges as counter
+// tracks.
+func WriteChromeTrace(w io.Writer, world *World) error {
+	opt := telemetry.ChromeOptions{Collector: world.Telemetry}
+	if world.Manager != nil {
+		opt.ManagerID = world.Manager.ID()
+	}
+	return telemetry.WriteChromeTrace(w, world.Trace, opt)
+}
