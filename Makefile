@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-telemetry telemetry-smoke figures validate examples clean
+.PHONY: all build test vet race bench bench-smoke bench-telemetry telemetry-smoke invariant-smoke fuzz-smoke cover figures validate examples clean
 
 all: build vet test
 
@@ -48,6 +48,30 @@ telemetry-smoke:
 		-chrome /tmp/roborepair-trace.json \
 		-prom /tmp/roborepair-metrics.txt \
 		-csv /tmp/roborepair-timeseries.csv
+
+# Conservation-law sweep: every algorithm under every built-in chaos
+# plan, with the runtime invariant checker on; exits nonzero on any
+# violation. CI runs a reduced grid; the default (5 seeds, 8000 s) is the
+# pre-release gate.
+invariant-smoke:
+	$(GO) run ./cmd/invck -seeds 2 -simtime 4000
+
+# Native fuzz smoke: 30 s per target over the checked-in seed corpora.
+# The chaos target guards the fault-plan DSL round trip, the wire target
+# the binary codec's canonical-form property.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzChaosParse -fuzztime 30s ./internal/chaos
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire
+
+# Coverage gate: the simulation kernel, the scenario layer, and the
+# invariant checker must each stay at or above 80% statement coverage.
+cover:
+	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant; do \
+		out=$$($(GO) test -cover $$pkg | tee /dev/stderr); \
+		pct=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
+		ok=$$(echo "$$pct 80" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "FAIL: $$pkg coverage $$pct% < 80%"; exit 1; fi; \
+	done
 
 # Regenerate the paper's figures at the full 64000 s horizon (minutes).
 figures:

@@ -231,3 +231,23 @@ func BenchmarkSimulatorThroughputTelemetry(b *testing.B) {
 	}
 	b.ReportMetric(simTime*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
 }
+
+// BenchmarkSimulatorThroughputInvariants is the same workload with the
+// conservation-law checker on (kernel audit, radio auditor, kinematics,
+// per-site lifecycle tracking). Compare against
+// BenchmarkSimulatorThroughput to measure the enabled overhead; with the
+// checker disabled the throughput benchmark itself must stay within 2%
+// of pre-checker builds — the hooks compile to nil checks.
+func BenchmarkSimulatorThroughputInvariants(b *testing.B) {
+	const simTime = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(roborepair.Dynamic, 16, int64(i+1))
+		cfg.SimTime = simTime
+		cfg.Invariants.Enabled = true
+		if _, err := roborepair.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(simTime*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+}

@@ -1,0 +1,152 @@
+// Command invck sweeps the conservation-law checker across the full
+// algorithm × fault-plan × seed grid and reports every violation, for CI
+// and pre-release smoke runs: all three coordination algorithms, each
+// under no chaos, a loss burst, a regional blackout, and a manager crash,
+// over several seeds.
+//
+// Usage:
+//
+//	invck                        # default grid: 3 algorithms × 4 plans × 5 seeds
+//	invck -seeds 3 -simtime 4000 # smaller smoke grid
+//	invck -csv grid.csv          # also dump one CSV row per run
+//
+// Any violation prints a diagnostic and exits nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"roborepair"
+	"roborepair/internal/analysis"
+	"roborepair/internal/chaos"
+	"roborepair/internal/core"
+	"roborepair/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "invck:", err)
+		os.Exit(1)
+	}
+}
+
+// plans builds the chaos schedule for one horizon: windows are fractions
+// of the simulated time and the blackout sits mid-field, so the grid
+// scales with -simtime instead of silently missing short runs.
+func plans(simtime, side float64) map[string]*chaos.FaultPlan {
+	burst := fmt.Sprintf("burst@%g-%g=0.3", simtime/4, simtime/2)
+	blackout := fmt.Sprintf("blackout@%g-%g=%g,%g,%g", simtime/4, simtime/2, side/2, side/2, side/4)
+	mgr := fmt.Sprintf("mgr@%g", simtime/4)
+	out := map[string]*chaos.FaultPlan{"none": nil}
+	for name, spec := range map[string]string{"burst": burst, "blackout": blackout, "mgr-crash": mgr} {
+		p, err := chaos.Parse(spec)
+		if err != nil {
+			panic(fmt.Sprintf("invck: bad built-in plan %q: %v", spec, err))
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// tag identifies one grid cell for reporting.
+type tag struct {
+	plan string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("invck", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 5, "seeds per cell")
+	simtime := fs.Float64("simtime", 8000, "simulated seconds per run")
+	robots := fs.Int("robots", 4, "robots per run")
+	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
+	csvPath := fs.String("csv", "", "also write one CSV row per run to this file")
+	progress := fs.Bool("progress", false, "print live grid progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := roborepair.DefaultConfig()
+	base.SimTime = *simtime
+	base.Robots = *robots
+	base.MeanLifetime = *simtime / 2 // enough failures inside the horizon
+	base.Reliability.Enabled = true
+	base.Invariants.Enabled = true
+
+	algs := []core.Algorithm{core.Centralized, core.Fixed, core.Dynamic}
+	planNames := []string{"none", "burst", "blackout", "mgr-crash"}
+	grid := plans(*simtime, base.FieldSide())
+
+	var jobs []runner.Job
+	for _, alg := range algs {
+		for _, pn := range planNames {
+			for seed := int64(1); seed <= int64(*seeds); seed++ {
+				cfg := base
+				cfg.Algorithm = alg
+				cfg.Seed = seed
+				cfg.Faults = grid[pn]
+				jobs = append(jobs, runner.Job{Config: cfg, Tag: tag{plan: pn}})
+			}
+		}
+	}
+
+	ropts := runner.Options{Procs: *procs}
+	if *progress {
+		ropts.Progress = runner.ProgressWriter(os.Stderr)
+		ropts.ProgressEvery = 250 * time.Millisecond
+	}
+	results, stats, err := runner.Run(jobs, ropts)
+	if err != nil {
+		return err
+	}
+
+	violations := 0
+	for _, r := range results {
+		for _, v := range r.Res.Violations {
+			violations++
+			fmt.Fprintf(os.Stderr, "invck: %s/%s/seed=%d: %s\n",
+				r.Job.Config.Algorithm, r.Job.Tag.(tag).plan, r.Job.Config.Seed, v)
+		}
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, results); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("invck: %d runs (%d algorithms × %d plans × %d seeds) in %.1fs: %d violations\n",
+		stats.Runs, len(algs), len(planNames), *seeds, stats.Wall.Seconds(), violations)
+	if violations > 0 {
+		return fmt.Errorf("%d invariant violations", violations)
+	}
+	return nil
+}
+
+// writeCSV dumps one row per run and re-validates the file through the
+// shared artifact checker, so the tool cannot emit a CSV it would itself
+// reject.
+func writeCSV(path string, results []runner.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "algorithm,plan,seed,failures,repairs,violations")
+	for _, r := range results {
+		fmt.Fprintf(f, "%s,%s,%d,%d,%d,%d\n",
+			r.Job.Config.Algorithm, r.Job.Tag.(tag).plan, r.Job.Config.Seed,
+			r.Res.FailuresInjected, r.Res.Repairs, len(r.Res.Violations))
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	check, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer check.Close()
+	if err := analysis.CheckCSV(check, "violations"); err != nil {
+		return fmt.Errorf("%s: emitted CSV failed validation: %w", path, err)
+	}
+	return nil
+}

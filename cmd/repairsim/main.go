@@ -46,6 +46,7 @@ func run(args []string) error {
 	fs.IntVar(&cfg.CargoCapacity, "cargo", 0, "robot cargo capacity; 0 = unlimited")
 	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
 	fs.BoolVar(&cfg.Reliability.Enabled, "reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
+	fs.BoolVar(&cfg.Invariants.Enabled, "invariants", false, "run the conservation-law checker; violations print and exit nonzero")
 	telemetryOn := fs.Bool("telemetry", false, "enable telemetry and print its summary")
 	prom := fs.String("prom", "", "write metrics in Prometheus text format to this file (implies -telemetry)")
 	timeseries := fs.String("timeseries", "", "write the gauge time series to this CSV file (implies -telemetry)")
@@ -88,6 +89,12 @@ func run(args []string) error {
 	if err := export(w, res, *prom, *timeseries, *chromeTrace); err != nil {
 		return err
 	}
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "violation:", v)
+		}
+		return fmt.Errorf("%d invariant violations", len(res.Violations))
+	}
 	if *asJSON {
 		out, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -115,6 +122,9 @@ func run(args []string) error {
 	}
 	if *verbose {
 		fmt.Print(res.Registry.Dump())
+	}
+	if cfg.Invariants.Enabled {
+		fmt.Println("invariants: ok")
 	}
 	return nil
 }

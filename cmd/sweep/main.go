@@ -56,6 +56,7 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "print engine throughput to stderr")
 	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
 	reliable := fs.Bool("reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
+	invariants := fs.Bool("invariants", false, "run the conservation-law checker per run; adds a violations column and exits nonzero on any")
 	telemetryOn := fs.Bool("telemetry", false, "enable per-run telemetry collection")
 	timeseries := fs.String("timeseries", "", "write per-run gauge time series to this CSV file (implies -telemetry)")
 	sampleEvery := fs.Float64("sample-every", 0, "gauge sampling cadence in sim seconds (0 = default 250)")
@@ -106,6 +107,7 @@ func run(args []string) error {
 				cfg.Seed = seed
 				cfg.Faults = plan
 				cfg.Reliability.Enabled = *reliable
+				cfg.Invariants.Enabled = *invariants
 				if *telemetryOn || *timeseries != "" {
 					cfg.Telemetry.Enabled = true
 					cfg.Telemetry.SamplePeriodS = *sampleEvery
@@ -142,7 +144,11 @@ func run(args []string) error {
 	if degraded {
 		header += ",unrepaired,dup_repairs,stranded,requeued,report_retx,abandoned,redispatches,takeovers,recovery_s"
 	}
+	if *invariants {
+		header += ",violations"
+	}
 	fmt.Println(header)
+	violations := 0
 	for _, r := range results {
 		res := r.Res
 		fmt.Printf("%s,%s,%g,%d,%d,%d,%d,%.2f,%.3f,%.3f,%.2f,%.1f",
@@ -156,7 +162,17 @@ func run(args []string) error {
 				res.RequeuedTasks, res.ReportRetx, res.ReportsAbandoned,
 				res.Redispatches, res.ManagerTakeovers, res.MeanFaultRecovery)
 		}
+		if *invariants {
+			fmt.Printf(",%d", len(res.Violations))
+			violations += len(res.Violations)
+			for _, v := range res.Violations {
+				fmt.Fprintln(os.Stderr, "violation:", v)
+			}
+		}
 		fmt.Println()
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d invariant violations across the grid", violations)
 	}
 	return nil
 }

@@ -2,7 +2,8 @@
 // tests and CI: a Chrome trace_event JSON must parse and carry well-formed
 // events, a Prometheus text file must scrape (every line a comment or a
 // `name[{labels}] value` sample), and a time-series CSV must be
-// rectangular with a t_s column.
+// rectangular with a t_s column. The format checks themselves live in
+// internal/analysis, shared with invck.
 //
 // Usage:
 //
@@ -13,13 +14,12 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"regexp"
-	"strings"
+
+	"roborepair/internal/analysis"
 )
 
 func main() {
@@ -43,137 +43,31 @@ func run(args []string) error {
 	if chrome == "" && prom == "" && csv == "" {
 		return fmt.Errorf("nothing to check; pass -chrome, -prom, and/or -csv")
 	}
-	if chrome != "" {
-		if err := checkChrome(chrome); err != nil {
-			return fmt.Errorf("%s: %w", chrome, err)
-		}
-		fmt.Printf("%s: ok\n", chrome)
+	checks := []struct {
+		path  string
+		check func(io.Reader) error
+	}{
+		{chrome, analysis.CheckChromeTrace},
+		{prom, analysis.CheckPrometheus},
+		{csv, func(r io.Reader) error { return analysis.CheckCSV(r, "t_s") }},
 	}
-	if prom != "" {
-		if err := checkProm(prom); err != nil {
-			return fmt.Errorf("%s: %w", prom, err)
-		}
-		fmt.Printf("%s: ok\n", prom)
-	}
-	if csv != "" {
-		if err := checkCSV(csv); err != nil {
-			return fmt.Errorf("%s: %w", csv, err)
-		}
-		fmt.Printf("%s: ok\n", csv)
-	}
-	return nil
-}
-
-// checkChrome parses the trace and verifies the invariants chrome://tracing
-// and Perfetto rely on: every event has a phase, complete slices have
-// non-negative durations, and at least one robot lane is named.
-func checkChrome(path string) error {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var doc struct {
-		TraceEvents []struct {
-			Name string   `json:"name"`
-			Ph   string   `json:"ph"`
-			Ts   *float64 `json:"ts"`
-			Dur  *float64 `json:"dur"`
-			Pid  *int     `json:"pid"`
-			Tid  *int     `json:"tid"`
-		} `json:"traceEvents"`
-	}
-	if err := json.Unmarshal(b, &doc); err != nil {
-		return fmt.Errorf("invalid JSON: %w", err)
-	}
-	if len(doc.TraceEvents) == 0 {
-		return fmt.Errorf("no trace events")
-	}
-	lanes := 0
-	for i, e := range doc.TraceEvents {
-		if e.Ph == "" {
-			return fmt.Errorf("event %d: missing ph", i)
-		}
-		if e.Ph != "M" && e.Ts == nil {
-			return fmt.Errorf("event %d (%s): missing ts", i, e.Name)
-		}
-		if e.Ph == "X" && (e.Dur == nil || *e.Dur < 0) {
-			return fmt.Errorf("event %d (%s): complete slice without valid dur", i, e.Name)
-		}
-		if e.Ph == "M" && e.Name == "thread_name" {
-			lanes++
-		}
-	}
-	if lanes == 0 {
-		return fmt.Errorf("no named lanes")
-	}
-	return nil
-}
-
-// promLine matches one exposition-format sample:
-// name{labels} value [timestamp].
-var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+( [0-9]+)?$`)
-
-func checkProm(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	samples, lineNo := 0, 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
+	for _, c := range checks {
+		if c.path == "" {
 			continue
 		}
-		if !promLine.MatchString(line) {
-			return fmt.Errorf("line %d: not a valid sample: %q", lineNo, line)
+		if err := checkFile(c.path, c.check); err != nil {
+			return fmt.Errorf("%s: %w", c.path, err)
 		}
-		samples++
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if samples == 0 {
-		return fmt.Errorf("no samples")
+		fmt.Printf("%s: ok\n", c.path)
 	}
 	return nil
 }
 
-func checkCSV(path string) error {
+func checkFile(path string, check func(io.Reader) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	if !sc.Scan() {
-		return fmt.Errorf("empty file")
-	}
-	header := strings.Split(sc.Text(), ",")
-	hasT := false
-	for _, col := range header {
-		if col == "t_s" {
-			hasT = true
-		}
-	}
-	if !hasT {
-		return fmt.Errorf("header lacks a t_s column: %q", sc.Text())
-	}
-	rows, lineNo := 0, 1
-	for sc.Scan() {
-		lineNo++
-		if got := len(strings.Split(sc.Text(), ",")); got != len(header) {
-			return fmt.Errorf("line %d: %d fields, header has %d", lineNo, got, len(header))
-		}
-		rows++
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if rows == 0 {
-		return fmt.Errorf("no data rows")
-	}
-	return nil
+	return check(f)
 }

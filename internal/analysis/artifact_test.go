@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckChromeTrace(t *testing.T) {
+	good := `{"traceEvents":[
+		{"name":"thread_name","ph":"M","pid":1,"tid":1},
+		{"name":"repair","ph":"X","ts":100,"dur":50,"pid":1,"tid":1},
+		{"name":"fail","ph":"i","ts":80,"pid":1,"tid":1}
+	]}`
+	if err := CheckChromeTrace(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"invalid json", `{`},
+		{"no events", `{"traceEvents":[]}`},
+		{"missing ph", `{"traceEvents":[{"name":"x","ts":1}]}`},
+		{"missing ts", `{"traceEvents":[{"name":"x","ph":"i"}]}`},
+		{"negative dur", `{"traceEvents":[{"name":"thread_name","ph":"M"},{"name":"x","ph":"X","ts":1,"dur":-2}]}`},
+		{"no lanes", `{"traceEvents":[{"name":"x","ph":"i","ts":1}]}`},
+	}
+	for _, tc := range bad {
+		if err := CheckChromeTrace(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCheckPrometheus(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP sim_repairs_total repairs completed",
+		"# TYPE sim_repairs_total counter",
+		`sim_repairs_total{algorithm="dynamic"} 42`,
+		"",
+		"sim_clock_seconds 64000 1700000000",
+	}, "\n")
+	if err := CheckPrometheus(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"empty", ""},
+		{"comments only", "# just a comment\n"},
+		{"malformed sample", "9metric 1\n"},
+		{"no value", "sim_repairs_total\n"},
+	}
+	for _, tc := range bad {
+		if err := CheckPrometheus(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCheckCSV(t *testing.T) {
+	good := "t_s,alive,repairs\n0,400,0\n100,398,2\n"
+	if err := CheckCSV(strings.NewReader(good), "t_s", "repairs"); err != nil {
+		t.Fatalf("valid CSV rejected: %v", err)
+	}
+	if err := CheckCSV(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid CSV rejected with no required columns: %v", err)
+	}
+	bad := []struct {
+		name     string
+		doc      string
+		required []string
+	}{
+		{"empty", "", nil},
+		{"missing required column", "a,b\n1,2\n", []string{"t_s"}},
+		{"ragged row", "t_s,alive\n0,400\n100\n", []string{"t_s"}},
+		{"no data rows", "t_s,alive\n", nil},
+	}
+	for _, tc := range bad {
+		if err := CheckCSV(strings.NewReader(tc.doc), tc.required...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -72,8 +73,8 @@ func (p *FaultPlan) Validate(robots int) error {
 		return nil
 	}
 	for i, rf := range p.RobotFailures {
-		if rf.At < 0 {
-			return fmt.Errorf("chaos: robot failure %d: negative time %v", i, rf.At)
+		if !(rf.At >= 0) { // also rejects NaN
+			return fmt.Errorf("chaos: robot failure %d: bad time %v", i, rf.At)
 		}
 		if rf.Robot < 0 {
 			return fmt.Errorf("chaos: robot failure %d: negative robot index %d", i, rf.Robot)
@@ -83,23 +84,26 @@ func (p *FaultPlan) Validate(robots int) error {
 		}
 	}
 	for i, b := range p.LossBursts {
-		if b.From < 0 || b.To <= b.From {
+		if !(b.From >= 0 && b.To > b.From) { // also rejects NaN bounds
 			return fmt.Errorf("chaos: loss burst %d: bad window [%v,%v)", i, b.From, b.To)
 		}
-		if b.P < 0 || b.P > 1 {
+		if !(b.P >= 0 && b.P <= 1) { // also rejects NaN
 			return fmt.Errorf("chaos: loss burst %d: probability %v outside [0,1]", i, b.P)
 		}
 	}
 	for i, b := range p.Blackouts {
-		if b.From < 0 || b.To <= b.From {
+		if !(b.From >= 0 && b.To > b.From) { // also rejects NaN bounds
 			return fmt.Errorf("chaos: blackout %d: bad window [%v,%v)", i, b.From, b.To)
 		}
-		if b.Radius <= 0 {
+		if !(b.Radius > 0) { // also rejects NaN
 			return fmt.Errorf("chaos: blackout %d: radius %v not positive", i, b.Radius)
 		}
+		if math.IsNaN(b.Center.X) || math.IsNaN(b.Center.Y) {
+			return fmt.Errorf("chaos: blackout %d: center %v is not a point", i, b.Center)
+		}
 	}
-	if p.ManagerCrashAt < 0 {
-		return fmt.Errorf("chaos: negative manager crash time %v", p.ManagerCrashAt)
+	if !(p.ManagerCrashAt >= 0) { // also rejects NaN
+		return fmt.Errorf("chaos: bad manager crash time %v", p.ManagerCrashAt)
 	}
 	return nil
 }
@@ -240,14 +244,24 @@ func parseBlackout(p *FaultPlan, rest string) error {
 }
 
 func parseWindow(s string) (from, to float64, err error) {
-	a, b, ok := strings.Cut(s, "-")
-	if !ok {
+	// Split at the first '-' that can belong to neither number: not a
+	// leading sign, and not the exponent sign of scientific notation (the
+	// plan renderer emits times like 1e-05, so "1e-05-3000" must split
+	// before "3000", not inside the exponent).
+	cut := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '-' && s[i-1] != 'e' && s[i-1] != 'E' {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
 		return 0, 0, fmt.Errorf("window %q: want T1-T2", s)
 	}
-	if from, err = atof(a); err != nil {
+	if from, err = atof(s[:cut]); err != nil {
 		return 0, 0, err
 	}
-	if to, err = atof(b); err != nil {
+	if to, err = atof(s[cut+1:]); err != nil {
 		return 0, 0, err
 	}
 	return from, to, nil

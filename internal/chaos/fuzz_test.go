@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzChaosParse drives Parse with arbitrary specs. Properties: Parse
+// never panics; whatever it accepts renders back through String into a
+// spec that re-parses to a deeply equal plan; an accepted-but-empty plan
+// renders to the empty spec.
+func FuzzChaosParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"robot@8000=0;burst@8000-12000=0.05;mgr@16000",
+		"blackout@2000-4000=100,100,80",
+		"burst@1e-05-3000=0.3",
+		"mgr@0",
+		"robot@+Inf=1",
+		"burst@0.125-0.25=1;burst@0.125-0.25=0",
+		"blackout@1-2=-3.5,0.0625,1e-06",
+		"robot@1=2;;;robot@3=4",
+		"quake@100=9",
+		"burst@NaN-100=0.5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil || p == nil {
+			return
+		}
+		rendered := p.String()
+		if p.Empty() {
+			if rendered != "" {
+				t.Fatalf("empty plan renders %q", rendered)
+			}
+			return
+		}
+		q, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted plan %+v renders unparseable spec %q: %v", p, rendered, err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip through %q:\n got %+v\nwant %+v", rendered, q, p)
+		}
+	})
+}

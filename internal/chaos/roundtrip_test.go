@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"roborepair/internal/geom"
+)
+
+// TestStringParseRoundTripTable locks Parse(String(p)) == p over the
+// plan-shape edge cases, including the scientific-notation times whose
+// negative exponents used to split the T1-T2 window in the wrong place
+// ("1e-05-3000" parsed as "1e" / "05-3000").
+func TestStringParseRoundTripTable(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *FaultPlan
+	}{
+		{"small-exponent burst start", &FaultPlan{
+			LossBursts: []LossBurst{{From: 1e-05, To: 3000, P: 0.3}},
+		}},
+		{"small-exponent blackout window", &FaultPlan{
+			Blackouts: []Blackout{{From: 2.5e-07, To: 1e-03, Center: geom.Pt(10, 20), Radius: 5}},
+		}},
+		{"large-exponent times", &FaultPlan{
+			LossBursts: []LossBurst{{From: 1e+20, To: 3e+20, P: 1}},
+		}},
+		{"overlapping bursts", &FaultPlan{
+			LossBursts: []LossBurst{
+				{From: 100, To: 500, P: 0.2},
+				{From: 300, To: 700, P: 0.8},
+				{From: 300, To: 700, P: 0.1},
+			},
+		}},
+		{"all kinds", &FaultPlan{
+			RobotFailures:  []RobotFailure{{At: 8000, Robot: 0}, {At: 9000.5, Robot: 3}},
+			LossBursts:     []LossBurst{{From: 8000, To: 12000, P: 0.05}},
+			Blackouts:      []Blackout{{From: 2000, To: 4000, Center: geom.Pt(100.25, 100), Radius: 80}},
+			ManagerCrashAt: 16000,
+		}},
+		{"fractional everything", &FaultPlan{
+			Blackouts: []Blackout{{From: 0.125, To: 0.25, Center: geom.Pt(-3.5, 0.0625), Radius: 1e-06}},
+		}},
+		{"infinite robot failure time", &FaultPlan{
+			RobotFailures: []RobotFailure{{At: math.Inf(1), Robot: 1}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.plan.String()
+			got, err := Parse(spec)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", spec, err)
+			}
+			if !reflect.DeepEqual(got, tc.plan) {
+				t.Fatalf("round trip of %q:\n got %+v\nwant %+v", spec, got, tc.plan)
+			}
+		})
+	}
+}
+
+// TestParseRejectsDegenerateWindows: boundary and degenerate shapes must
+// be parse errors, not silently inert faults.
+func TestParseRejectsDegenerateWindows(t *testing.T) {
+	bad := []string{
+		"burst@100-100=0.5",        // T1 == T2: empty window
+		"blackout@100-100=10,10,5", // same, blackout flavor
+		"blackout@1-2=3,4,0",       // zero-radius blackout
+		"blackout@1-2=3,4,-7",      // negative radius
+		"burst@1e-05=0.5",          // window with no separator after the fix
+		"burst@NaN-100=0.5",        // NaN window bound
+		"burst@100-200=NaN",        // NaN probability
+		"blackout@1-2=NaN,4,5",     // NaN center
+		"robot@NaN=0",              // NaN failure time
+		"mgr@NaN",                  // NaN crash time
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}
+
+// TestValidateRejectsNaN covers plans built in code (bypassing Parse):
+// every float field must refuse NaN, which passes ordinary range
+// comparisons and would poison the scheduler.
+func TestValidateRejectsNaN(t *testing.T) {
+	nan := math.NaN()
+	plans := []*FaultPlan{
+		{RobotFailures: []RobotFailure{{At: nan}}},
+		{LossBursts: []LossBurst{{From: nan, To: 10, P: 0.5}}},
+		{LossBursts: []LossBurst{{From: 0, To: nan, P: 0.5}}},
+		{LossBursts: []LossBurst{{From: 0, To: 10, P: nan}}},
+		{Blackouts: []Blackout{{From: nan, To: 10, Radius: 5}}},
+		{Blackouts: []Blackout{{From: 0, To: 10, Radius: nan}}},
+		{Blackouts: []Blackout{{From: 0, To: 10, Radius: 5, Center: geom.Pt(nan, 0)}}},
+		{Blackouts: []Blackout{{From: 0, To: 10, Radius: 5, Center: geom.Pt(0, nan)}}},
+		{ManagerCrashAt: nan},
+	}
+	for i, p := range plans {
+		if err := p.Validate(0); err == nil {
+			t.Errorf("plan %d: NaN accepted: %+v", i, p)
+		}
+	}
+}

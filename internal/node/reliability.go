@@ -259,6 +259,9 @@ func (s *Sensor) deliverPacket(p netstack.Packet) {
 		return
 	}
 	if ack, ok := p.Payload.(wire.ReportAck); ok && ack.Reporter == s.id {
+		if s.hooks.OnReportAcked != nil {
+			s.hooks.OnReportAcked(ack)
+		}
 		s.ackReport(ack.Seq)
 	}
 }

@@ -67,6 +67,10 @@ type Hooks struct {
 	OnReportRetx func(rep wire.FailureReport, attempt int)
 	// OnReportAbandoned fires when a report exhausts its retry budget.
 	OnReportAbandoned func(rep wire.FailureReport)
+	// OnReportAcked fires when this sensor accepts an ack addressed to one
+	// of its own reports (before the pending-report lookup, so acks for
+	// already-cleared reports are observed too).
+	OnReportAcked func(ack wire.ReportAck)
 }
 
 type guardee struct {

@@ -160,6 +160,9 @@ func (m *Medium) deliverContended(f Frame, frameID uint64, start, end sim.Time, 
 		if m.lost(f, st.RadioID()) {
 			return
 		}
+		if m.audit != nil {
+			m.audit.FrameDelivered(f, pos.pos, pos.rng, st)
+		}
 		st.HandleFrame(f)
 	}
 	if f.Dst != IDBroadcast {

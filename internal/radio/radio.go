@@ -58,6 +58,19 @@ type Station interface {
 	HandleFrame(f Frame)
 }
 
+// Auditor observes the medium's transmissions and deliveries for
+// conservation checking (the invariant layer). FrameSent fires once per
+// accepted Send; FrameDelivered fires immediately before each
+// Station.HandleFrame with the sender's position and range at
+// transmission time, on both the direct and the contended delivery path.
+// A nil auditor costs one pointer test per event.
+type Auditor interface {
+	// FrameSent records one accepted transmission.
+	FrameSent(f Frame)
+	// FrameDelivered records one reception about to be handed to dst.
+	FrameDelivered(f Frame, from geom.Point, rng float64, dst Station)
+}
+
 // LossModel decides whether a particular reception is dropped.
 type LossModel interface {
 	// Drop reports whether the frame from src is lost at dst.
@@ -156,6 +169,8 @@ type Medium struct {
 	// model only implements per-pair Drop), keeping the type assertion off
 	// the delivery path.
 	frameLoss FrameLossModel
+	// audit, when non-nil, observes every transmission and delivery.
+	audit Auditor
 }
 
 // sendSnapshot freezes the sender's position and range at Send time.
@@ -203,6 +218,10 @@ func (m *Medium) SetLoss(l LossModel) {
 // Loss returns the medium's current loss model (nil when lossless), so a
 // wrapper installed via SetLoss can delegate to it.
 func (m *Medium) Loss() LossModel { return m.cfg.Loss }
+
+// SetAuditor installs (or, with nil, removes) the medium's delivery
+// auditor.
+func (m *Medium) SetAuditor(a Auditor) { m.audit = a }
 
 // Attach registers a station at its current position. Attaching an ID that
 // is already present replaces the previous station.
@@ -358,6 +377,9 @@ func (m *Medium) Send(f Frame) {
 		return
 	}
 	m.reg.CountTx(f.Category, 1)
+	if m.audit != nil {
+		m.audit.FrameSent(f)
+	}
 	if m.cfg.Contention.Enabled() {
 		m.sendContended(f, sendSnapshot{pos: src.RadioPos(), rng: src.RadioRange()})
 		return
@@ -412,6 +434,9 @@ func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
 		if m.lost(f, f.Dst) {
 			return
 		}
+		if m.audit != nil {
+			m.audit.FrameDelivered(f, from, rng, dst)
+		}
 		dst.HandleFrame(f)
 		return
 	}
@@ -422,6 +447,9 @@ func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
 		}
 		if m.lost(f, s.RadioID()) {
 			continue
+		}
+		if m.audit != nil {
+			m.audit.FrameDelivered(f, from, rng, s)
 		}
 		s.HandleFrame(f)
 	}

@@ -99,6 +99,11 @@ type Hooks struct {
 	// OnRedispatch fires when this robot, acting as manager, re-issues an
 	// outstanding repair request to another robot.
 	OnRedispatch func(req wire.RepairRequest, to radio.NodeID, attempt int)
+	// OnMove fires at every position fix — each settle and each spatial
+	// reindex — with the previous anchor, the time it was fixed, and the
+	// new position, so an observer can bound displacement by speed ×
+	// elapsed (the kinematics conservation law).
+	OnMove func(r *Robot, from geom.Point, fromAt sim.Time, to geom.Point)
 }
 
 // Robot is a mobile maintainer (and, in the distributed algorithms, a
@@ -440,6 +445,9 @@ func (r *Robot) begin(t Task) {
 
 // settle fixes the robot's anchor at p with motion stopped.
 func (r *Robot) settle(p geom.Point) {
+	if r.hooks.OnMove != nil {
+		r.hooks.OnMove(r, r.anchor, r.anchorTime, p)
+	}
 	old := r.indexedPos
 	r.anchor = p
 	r.anchorTime = r.sched.Now()
@@ -473,6 +481,9 @@ func (r *Robot) scheduleUpdate() {
 func (r *Robot) reindex() {
 	old := r.indexedPos
 	r.indexedPos = r.Pos()
+	if r.hooks.OnMove != nil {
+		r.hooks.OnMove(r, r.anchor, r.anchorTime, r.indexedPos)
+	}
 	if !old.Eq(r.indexedPos) {
 		r.medium.Moved(r.id, old)
 	}

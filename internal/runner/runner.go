@@ -106,12 +106,29 @@ type Options struct {
 	ProgressEvery time.Duration
 }
 
+// runJob executes one configuration; swappable so tests can inject
+// failing or panicking jobs without a panicking scenario config.
+var runJob = scenario.Run
+
+// runOne runs a single job, converting a panic into an ordinary error so
+// one poisoned configuration cannot take down the whole grid (or the
+// worker goroutine, which would deadlock the WaitGroup).
+func runOne(cfg scenario.Config) (res scenario.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job panicked: %v", r)
+		}
+	}()
+	return runJob(cfg)
+}
+
 // Run executes every job on a pool of workers and returns the results in
 // input order, alongside aggregate statistics. Individual run failures do
 // not stop the grid; every failure (annotated with its job index, in
 // input order) is aggregated into the returned error with errors.Join,
 // so single-run callers keep the familiar (value, error) contract and
-// grid callers see the complete failure picture.
+// grid callers see the complete failure picture. A job that panics is
+// recovered and reported as that job's error.
 func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 	procs := opts.Procs
 	if procs <= 0 {
@@ -143,7 +160,7 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 					return
 				}
 				runStart := time.Now()
-				res, err := scenario.Run(jobs[i].Config)
+				res, err := runOne(jobs[i].Config)
 				busy[worker].Add(int64(time.Since(runStart)))
 				r := Result{Index: i, Job: jobs[i], Res: res, Err: err}
 				results[i] = r

@@ -1,0 +1,31 @@
+package scenario
+
+import (
+	"roborepair/internal/invariant"
+)
+
+// startInvariants builds the run's conservation-law checker and installs
+// the kernel and medium probes. Called before any sensor or robot is
+// created so their hooks can be wired conditionally: with invariants off
+// every instrumented path keeps its plain nil check and the run is
+// bit-identical to an unchecked one.
+func (w *World) startInvariants() {
+	w.inv = invariant.NewChecker(w.Cfg.Invariants, w.Sched.Now)
+	w.inv.SetRobotSpeed(w.Cfg.RobotSpeed)
+	w.Sched.SetAudit(w.inv.KernelAudit())
+	w.Medium.SetAuditor(w.inv)
+}
+
+// finalizeInvariants runs the end-of-run conservation cross-checks
+// against the same counters results() reports.
+func (w *World) finalizeInvariants() {
+	if w.inv == nil {
+		return
+	}
+	w.inv.Finalize(invariant.Totals{
+		FailuresInjected:   w.failuresInjected,
+		Repairs:            w.repairs,
+		DuplicateRepairs:   w.dupRepairs,
+		UnrepairedFailures: w.unrepairedSites(),
+	})
+}

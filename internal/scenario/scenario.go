@@ -12,6 +12,7 @@ import (
 	"roborepair/internal/core"
 	"roborepair/internal/failure"
 	"roborepair/internal/geom"
+	"roborepair/internal/invariant"
 	"roborepair/internal/metrics"
 	"roborepair/internal/radio"
 	"roborepair/internal/rng"
@@ -121,6 +122,13 @@ type Config struct {
 	// exporters. The zero value disables it entirely and reproduces the
 	// untelemetered simulator's behavior and allocations bit-for-bit.
 	Telemetry telemetry.Config `json:"telemetry,omitempty"`
+	// Invariants enables the runtime conservation-law checker: kernel
+	// clock/free-list audits, failure-lifecycle conservation, robot
+	// kinematics, radio unit-disk accounting, reliability-protocol sanity.
+	// Violations land in Results.Violations; the zero value disables the
+	// layer entirely and reproduces the unchecked simulator's behavior and
+	// allocations bit-for-bit.
+	Invariants invariant.Config `json:"invariants,omitempty"`
 }
 
 // ReliabilityConfig tunes the repair-reliability protocol. All durations
@@ -232,6 +240,9 @@ func (c Config) Validate() error {
 	if err := c.Telemetry.Validate(); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	if err := c.Invariants.Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	return nil
 }
 
@@ -304,6 +315,11 @@ type Results struct {
 	// Telemetry holds the run's collector — histograms and the sampled
 	// time series — when Config.Telemetry is enabled; nil otherwise.
 	Telemetry *telemetry.Collector `json:"-"`
+
+	// Violations lists the conservation-law breaches the invariant layer
+	// detected, in detection order; empty on clean runs and always nil
+	// when Config.Invariants is disabled.
+	Violations []invariant.Violation `json:"violations,omitempty"`
 }
 
 // ReportDeliveryRatio returns delivered/sent failure reports (1 when no

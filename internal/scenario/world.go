@@ -9,6 +9,7 @@ import (
 	"roborepair/internal/coverage"
 	"roborepair/internal/failure"
 	"roborepair/internal/geom"
+	"roborepair/internal/invariant"
 	"roborepair/internal/metrics"
 	"roborepair/internal/node"
 	"roborepair/internal/radio"
@@ -69,6 +70,10 @@ type World struct {
 	telReportHops  *telemetry.LogHistogram
 	telReportRetx  *telemetry.LogHistogram
 	telTrip        *telemetry.LogHistogram
+
+	// inv is the conservation-law checker; nil when Config.Invariants is
+	// disabled, so the hooks pay one nil check.
+	inv *invariant.Checker
 }
 
 // New builds a world from the configuration.
@@ -109,11 +114,23 @@ func New(cfg Config) (*World, error) {
 		nextID:         1,
 		managerCrashAt: -1,
 	}
+	if cfg.Invariants.Enabled {
+		w.startInvariants()
+	}
 	w.Injector = failure.NewInjector(sched, cfg.lifetimeModel(rng.Split(cfg.Seed, "lifetimes")))
 	if cfg.TraceCapacity != 0 {
 		w.Trace = trace.New(cfg.TraceCapacity)
+	}
+	if w.Trace != nil || w.inv != nil {
 		w.Injector.OnKill = func(n failure.Failable) {
-			if s, ok := n.(*node.Sensor); ok {
+			s, ok := n.(*node.Sensor)
+			if !ok {
+				return
+			}
+			if w.inv != nil {
+				w.inv.FailureInjected(s.ID(), s.Pos())
+			}
+			if w.Trace != nil {
 				w.Trace.Record(trace.Event{
 					At: sched.Now(), Kind: trace.KindFailure,
 					Node: s.ID(), Loc: s.Pos(),
@@ -236,6 +253,9 @@ func New(cfg Config) (*World, error) {
 				return
 			}
 			w.repairs++
+			if w.inv != nil {
+				w.inv.RepairCompleted(t.Failed, t.Loc)
+			}
 			// 30 s buckets cover 0..2 h of repair delay; the tail beyond
 			// that reports exactly via overflow.
 			reg.Histogram(HistRepairDelay, 30, 240).Add(float64(delay))
@@ -309,6 +329,11 @@ func New(cfg Config) (*World, error) {
 				Node: req.Failed, Actor: to, Loc: req.Loc,
 			})
 		},
+	}
+	if w.inv != nil {
+		robotHooks.OnMove = func(r *robot.Robot, from geom.Point, fromAt sim.Time, to geom.Point) {
+			w.inv.RobotMoved(r.ID(), from, fromAt, to)
+		}
 	}
 	rcfg := robot.Config{
 		Speed:           cfg.RobotSpeed,
@@ -501,9 +526,12 @@ func (w *World) sensorConfig() node.Config {
 func (w *World) spawnSensor(pos geom.Point, jitter *rng.Source, replacement bool, target radio.NodeID, targetLoc geom.Point) *node.Sensor {
 	id := w.nextID
 	w.nextID++
-	s := node.NewSensor(id, pos, w.sensorConfig(), w.policy, w.Medium, node.Hooks{
+	hooks := node.Hooks{
 		OnReportSent: func(rep wire.FailureReport) {
 			w.reportsSent++
+			if w.inv != nil && rep.Seq > 0 {
+				w.inv.ReportSent(rep.Reporter, rep.Seq)
+			}
 			w.trace(trace.Event{
 				At: w.Sched.Now(), Kind: trace.KindReportSent,
 				Node: rep.Failed, Actor: rep.Reporter, Loc: rep.Loc,
@@ -511,6 +539,9 @@ func (w *World) spawnSensor(pos geom.Point, jitter *rng.Source, replacement bool
 		},
 		OnReportRetx: func(rep wire.FailureReport, attempt int) {
 			w.reportRetx++
+			if w.inv != nil && rep.Seq > 0 {
+				w.inv.ReportRetx(rep.Reporter, rep.Seq)
+			}
 			if w.telReportRetx != nil {
 				w.telReportRetx.Add(float64(attempt))
 			}
@@ -522,11 +553,20 @@ func (w *World) spawnSensor(pos geom.Point, jitter *rng.Source, replacement bool
 		OnReportAbandoned: func(rep wire.FailureReport) {
 			w.reportsAban++
 		},
-	})
+	}
+	if w.inv != nil {
+		hooks.OnReportAcked = func(ack wire.ReportAck) {
+			w.inv.ReportAcked(ack.Reporter, ack.Seq)
+		}
+	}
+	s := node.NewSensor(id, pos, w.sensorConfig(), w.policy, w.Medium, hooks)
 	if replacement {
 		s.SetTarget(target, targetLoc)
 	}
 	w.Sensors[id] = s
+	if w.inv != nil {
+		w.inv.SensorSpawned(id, pos)
+	}
 	if w.siteIDs != nil {
 		w.siteIDs[pos] = append(w.siteIDs[pos], id)
 	}
@@ -552,6 +592,9 @@ func (w *World) spawnReplacement(r *robot.Robot, loc geom.Point) radio.NodeID {
 			// dead. The visit was a duplicate repair, not a replacement.
 			w.dupRepairs++
 			w.dupRepair = true
+			if w.inv != nil {
+				w.inv.DuplicateVisit(loc)
+			}
 			return id
 		}
 	}
@@ -577,6 +620,7 @@ func (w *World) Run() Results {
 	// the injector that dies within the horizon.
 	w.Sched.Run(sim.Time(w.Cfg.SimTime))
 	w.failuresInjected = w.Injector.Killed()
+	w.finalizeInvariants()
 	return w.results()
 }
 
@@ -621,6 +665,9 @@ func (w *World) results() Results {
 	res.DuplicateRepairs = w.dupRepairs
 	if s := reg.Series(metrics.SeriesFaultRecovery); s.N() > 0 {
 		res.MeanFaultRecovery = s.Mean()
+	}
+	if w.inv != nil {
+		res.Violations = w.inv.Violations()
 	}
 	return res
 }

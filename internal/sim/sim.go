@@ -59,8 +59,25 @@ type event struct {
 	seq   uint64
 	gen   uint32
 	index int // heap index, -1 when not queued
+	freed bool
 	fn    func()
 }
+
+// Audit receives the kernel's self-checks. Install one with SetAudit and
+// the scheduler verifies its own bookkeeping at every dispatch, release,
+// and cancellation, reporting breaches through Violation; without one the
+// checks reduce to a nil test. The law names match the catalogue in the
+// invariant package ("sim/clock-monotone", "sim/free-list",
+// "sim/queue-integrity").
+type Audit struct {
+	// Violation reports one detected breach: the broken law's name, the
+	// clock reading at detection, and a diagnostic with the disagreeing
+	// numbers. Must be non-nil.
+	Violation func(law string, at Time, detail string)
+}
+
+// SetAudit installs (or, with nil, removes) the kernel's audit sink.
+func (s *Scheduler) SetAudit(a *Audit) { s.audit = a }
 
 // Event is a cancellable handle to a scheduled callback. The zero value
 // refers to no event: it reports not scheduled, and cancelling it is a
@@ -135,6 +152,7 @@ type Scheduler struct {
 	fired     uint64
 	highWater int // deepest the queue has ever been
 	stopped   bool
+	audit     *Audit
 }
 
 // alloc takes an event from the free list, or allocates one.
@@ -143,6 +161,7 @@ func (s *Scheduler) alloc() *event {
 		ev := s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
+		ev.freed = false
 		return ev
 	}
 	return &event{}
@@ -151,8 +170,14 @@ func (s *Scheduler) alloc() *event {
 // release returns a dequeued event to the free list. Bumping the
 // generation invalidates every outstanding handle to it.
 func (s *Scheduler) release(ev *event) {
+	if s.audit != nil && ev.freed {
+		s.audit.Violation("sim/free-list", s.now, fmt.Sprintf(
+			"event seq=%d gen=%d released twice", ev.seq, ev.gen))
+		return
+	}
 	ev.fn = nil
 	ev.gen++
+	ev.freed = true
 	s.free = append(s.free, ev)
 }
 
@@ -210,6 +235,12 @@ func (s *Scheduler) Cancel(ev Event) bool {
 	if !ev.Scheduled() {
 		return false
 	}
+	if s.audit != nil && (ev.e.index >= len(s.queue) || s.queue[ev.e.index] != ev.e) {
+		s.audit.Violation("sim/queue-integrity", s.now, fmt.Sprintf(
+			"cancel of event seq=%d: heap index %d does not point back at the event",
+			ev.e.seq, ev.e.index))
+		return false
+	}
 	heap.Remove(&s.queue, ev.e.index)
 	s.release(ev.e)
 	return true
@@ -224,6 +255,16 @@ func (s *Scheduler) Step() bool {
 	ev, ok := heap.Pop(&s.queue).(*event)
 	if !ok {
 		return false
+	}
+	if s.audit != nil {
+		if ev.at < s.now {
+			s.audit.Violation("sim/clock-monotone", s.now, fmt.Sprintf(
+				"event seq=%d fires at %v with the clock already at %v", ev.seq, ev.at, s.now))
+		}
+		if ev.freed {
+			s.audit.Violation("sim/queue-integrity", s.now, fmt.Sprintf(
+				"dispatch of freed event storage seq=%d gen=%d", ev.seq, ev.gen))
+		}
 	}
 	s.now = ev.at
 	s.fired++

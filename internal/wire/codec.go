@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"roborepair/internal/geom"
+	"roborepair/internal/radio"
+	"roborepair/internal/sim"
+)
+
+// Binary codec for the wire message bodies. The simulator itself passes
+// payloads as Go values; this codec is the exact over-the-air layout for
+// byte-budget accounting and for driving real radios from the same
+// message set. The encoding is a fixed-width little-endian layout: one
+// tag byte naming the type, then the struct fields in declaration order —
+// NodeID and int as int64, Time and Point coordinates as float64 bits,
+// bool as a strict 0/1 byte. Every decodable buffer re-encodes to
+// identical bytes, and Decode rejects short buffers, trailing garbage,
+// unknown tags, and non-canonical booleans.
+
+// Message tag bytes. The explicit values are the wire contract: they must
+// never be renumbered, only extended.
+const (
+	tagBeacon           byte = 1
+	tagLocationAnnounce byte = 2
+	tagGuardianConfirm  byte = 3
+	tagFailureReport    byte = 4
+	tagReportAck        byte = 5
+	tagHeartbeatAck     byte = 6
+	tagDispatchAck      byte = 7
+	tagRepairDone       byte = 8
+	tagManagerTakeover  byte = 9
+	tagRepairRequest    byte = 10
+	tagRobotUpdate      byte = 11
+)
+
+// Encoded sizes: tag byte + 8 bytes per scalar field (bools take 1).
+const (
+	sizeBeacon           = 1 + 8 + 16
+	sizeLocationAnnounce = 1 + 8 + 16 + 1
+	sizeGuardianConfirm  = 1 + 8 + 16
+	sizeFailureReport    = 1 + 8 + 16 + 8 + 8 + 8 + 16
+	sizeReportAck        = 1 + 8 + 8 + 8
+	sizeHeartbeatAck     = 1 + 8 + 8
+	sizeDispatchAck      = 1 + 8 + 8
+	sizeRepairDone       = 1 + 8 + 8
+	sizeManagerTakeover  = 1 + 8 + 16
+	sizeRepairRequest    = 1 + 8 + 16 + 8 + 8 + 16
+	sizeRobotUpdate      = 1 + 8 + 16 + 8 + 8 + 1
+)
+
+// enc is an append-only little-endian writer.
+type enc struct{ b []byte }
+
+func (e *enc) id(v radio.NodeID) { e.u64(uint64(int64(v))) }
+func (e *enc) i(v int)           { e.u64(uint64(int64(v))) }
+func (e *enc) f(v float64)       { e.u64(math.Float64bits(v)) }
+func (e *enc) t(v sim.Time)      { e.f(float64(v)) }
+func (e *enc) pt(p geom.Point)   { e.f(p.X); e.f(p.Y) }
+func (e *enc) u64(v uint64)      { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// dec is a consuming little-endian reader; short reads poison it.
+type dec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *dec) u64() uint64 {
+	if len(d.b) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) id() radio.NodeID { return radio.NodeID(int64(d.u64())) }
+func (d *dec) i() int           { return int(int64(d.u64())) }
+func (d *dec) f() float64       { return math.Float64frombits(d.u64()) }
+func (d *dec) t() sim.Time      { return sim.Time(d.f()) }
+func (d *dec) pt() geom.Point   { return geom.Pt(d.f(), d.f()) }
+
+func (d *dec) bool() bool {
+	if len(d.b) < 1 {
+		d.bad = true
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		// Reject non-canonical booleans so Encode(Decode(b)) == b holds
+		// for every accepted buffer.
+		d.bad = true
+	}
+	return v == 1
+}
+
+// Encode renders one wire message body into its binary layout. It returns
+// an error for values that are not wire message types.
+func Encode(msg any) ([]byte, error) {
+	var e enc
+	switch m := msg.(type) {
+	case Beacon:
+		e.b = make([]byte, 0, sizeBeacon)
+		e.b = append(e.b, tagBeacon)
+		e.id(m.From)
+		e.pt(m.Loc)
+	case LocationAnnounce:
+		e.b = make([]byte, 0, sizeLocationAnnounce)
+		e.b = append(e.b, tagLocationAnnounce)
+		e.id(m.From)
+		e.pt(m.Loc)
+		e.bool(m.Replacement)
+	case GuardianConfirm:
+		e.b = make([]byte, 0, sizeGuardianConfirm)
+		e.b = append(e.b, tagGuardianConfirm)
+		e.id(m.From)
+		e.pt(m.Loc)
+	case FailureReport:
+		e.b = make([]byte, 0, sizeFailureReport)
+		e.b = append(e.b, tagFailureReport)
+		e.id(m.Failed)
+		e.pt(m.Loc)
+		e.id(m.Reporter)
+		e.t(m.DetectedAt)
+		e.u64(m.Seq)
+		e.pt(m.ReporterLoc)
+	case ReportAck:
+		e.b = make([]byte, 0, sizeReportAck)
+		e.b = append(e.b, tagReportAck)
+		e.id(m.Reporter)
+		e.id(m.Failed)
+		e.u64(m.Seq)
+	case HeartbeatAck:
+		e.b = make([]byte, 0, sizeHeartbeatAck)
+		e.b = append(e.b, tagHeartbeatAck)
+		e.id(m.Manager)
+		e.u64(m.Seq)
+	case DispatchAck:
+		e.b = make([]byte, 0, sizeDispatchAck)
+		e.b = append(e.b, tagDispatchAck)
+		e.id(m.Robot)
+		e.id(m.Failed)
+	case RepairDone:
+		e.b = make([]byte, 0, sizeRepairDone)
+		e.b = append(e.b, tagRepairDone)
+		e.id(m.Robot)
+		e.id(m.Failed)
+	case ManagerTakeover:
+		e.b = make([]byte, 0, sizeManagerTakeover)
+		e.b = append(e.b, tagManagerTakeover)
+		e.id(m.Manager)
+		e.pt(m.Loc)
+	case RepairRequest:
+		e.b = make([]byte, 0, sizeRepairRequest)
+		e.b = append(e.b, tagRepairRequest)
+		e.id(m.Failed)
+		e.pt(m.Loc)
+		e.t(m.IssuedAt)
+		e.id(m.Manager)
+		e.pt(m.ManagerLoc)
+	case RobotUpdate:
+		e.b = make([]byte, 0, sizeRobotUpdate)
+		e.b = append(e.b, tagRobotUpdate)
+		e.id(m.Robot)
+		e.pt(m.Loc)
+		e.u64(m.Seq)
+		e.i(m.Load)
+		e.bool(m.Managing)
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", msg)
+	}
+	return e.b, nil
+}
+
+// Decode parses one binary message body back into its Go value. It
+// rejects empty input, unknown tags, truncated bodies, and trailing
+// bytes, so for every accepted buffer Encode(Decode(b)) reproduces b.
+func Decode(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("wire: empty buffer")
+	}
+	d := dec{b: b[1:]}
+	var msg any
+	switch b[0] {
+	case tagBeacon:
+		msg = Beacon{From: d.id(), Loc: d.pt()}
+	case tagLocationAnnounce:
+		msg = LocationAnnounce{From: d.id(), Loc: d.pt(), Replacement: d.bool()}
+	case tagGuardianConfirm:
+		msg = GuardianConfirm{From: d.id(), Loc: d.pt()}
+	case tagFailureReport:
+		msg = FailureReport{
+			Failed: d.id(), Loc: d.pt(), Reporter: d.id(),
+			DetectedAt: d.t(), Seq: d.u64(), ReporterLoc: d.pt(),
+		}
+	case tagReportAck:
+		msg = ReportAck{Reporter: d.id(), Failed: d.id(), Seq: d.u64()}
+	case tagHeartbeatAck:
+		msg = HeartbeatAck{Manager: d.id(), Seq: d.u64()}
+	case tagDispatchAck:
+		msg = DispatchAck{Robot: d.id(), Failed: d.id()}
+	case tagRepairDone:
+		msg = RepairDone{Robot: d.id(), Failed: d.id()}
+	case tagManagerTakeover:
+		msg = ManagerTakeover{Manager: d.id(), Loc: d.pt()}
+	case tagRepairRequest:
+		msg = RepairRequest{
+			Failed: d.id(), Loc: d.pt(), IssuedAt: d.t(),
+			Manager: d.id(), ManagerLoc: d.pt(),
+		}
+	case tagRobotUpdate:
+		msg = RobotUpdate{
+			Robot: d.id(), Loc: d.pt(), Seq: d.u64(),
+			Load: d.i(), Managing: d.bool(),
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown message tag %d", b[0])
+	}
+	if d.bad {
+		return nil, fmt.Errorf("wire: truncated or malformed %T", msg)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %T", len(d.b), msg)
+	}
+	return msg, nil
+}

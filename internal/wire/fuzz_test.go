@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"roborepair/internal/geom"
+)
+
+// FuzzWireDecode drives Decode with arbitrary buffers. Properties: Decode
+// never panics, and any buffer it accepts re-encodes to exactly the
+// input bytes (the codec has one canonical form per message).
+func FuzzWireDecode(f *testing.F) {
+	seeds := []any{
+		Beacon{From: 7, Loc: geom.Pt(1.5, -2.25)},
+		LocationAnnounce{From: -1, Loc: geom.Pt(100, 100), Replacement: true},
+		FailureReport{Failed: 4, Loc: geom.Pt(10, 20), Reporter: 5, DetectedAt: 123.456, Seq: 9, ReporterLoc: geom.Pt(11, 21)},
+		ReportAck{Reporter: 5, Failed: 4, Seq: 42},
+		RepairRequest{Failed: 8, Loc: geom.Pt(3, 4), IssuedAt: 777.125, Manager: 9000, ManagerLoc: geom.Pt(5, 6)},
+		RobotUpdate{Robot: 9003, Loc: geom.Pt(200, 200), Seq: 3, Load: 1, Managing: false},
+	}
+	for _, msg := range seeds {
+		b, err := Encode(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xEE})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded %+v but cannot re-encode: %v", msg, err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted buffer is not canonical:\n  in %x\n out %x\n msg %+v", b, re, msg)
+		}
+	})
+}

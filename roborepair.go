@@ -27,6 +27,7 @@ import (
 	"roborepair/internal/core"
 	"roborepair/internal/figures"
 	"roborepair/internal/geom"
+	"roborepair/internal/invariant"
 	"roborepair/internal/runner"
 	"roborepair/internal/scenario"
 	"roborepair/internal/telemetry"
@@ -59,6 +60,13 @@ type (
 	TelemetryConfig = telemetry.Config
 	// TelemetryCollector carries one run's telemetry (Results.Telemetry).
 	TelemetryCollector = telemetry.Collector
+	// InvariantConfig enables the runtime conservation-law checker via
+	// Config.Invariants. The zero value disables it with zero overhead;
+	// violations surface in Results.Violations.
+	InvariantConfig = invariant.Config
+	// InvariantViolation is one detected conservation-law breach, with the
+	// simulated time and entity it was observed at.
+	InvariantViolation = invariant.Violation
 )
 
 // ParseFaultPlan builds a fault plan from the compact semicolon-separated
