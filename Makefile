@@ -57,16 +57,19 @@ invariant-smoke:
 	$(GO) run ./cmd/invck -seeds 2 -simtime 4000
 
 # Native fuzz smoke: 30 s per target over the checked-in seed corpora.
-# The chaos target guards the fault-plan DSL round trip, the wire target
-# the binary codec's canonical-form property.
+# The chaos target guards the fault-plan DSL round trip, the wire targets
+# the binary codec's canonical-form property and the frame decoder's
+# never-panic/never-wrongly-accept property under arbitrary mutation.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzChaosParse -fuzztime 30s ./internal/chaos
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzFrameCorrupt -fuzztime 30s ./internal/wire
 
-# Coverage gate: the simulation kernel, the scenario layer, and the
-# invariant checker must each stay at or above 80% statement coverage.
+# Coverage gate: the simulation kernel, the scenario layer, the
+# invariant checker, and the wire codec (the hostile channel's attack
+# surface) must each stay at or above 80% statement coverage.
 cover:
-	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant; do \
+	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant ./internal/wire; do \
 		out=$$($(GO) test -cover $$pkg | tee /dev/stderr); \
 		pct=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
 		ok=$$(echo "$$pct 80" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
@@ -86,6 +89,7 @@ examples:
 	$(GO) run ./examples/algorithmduel
 	$(GO) run ./examples/mobilityduel
 	$(GO) run ./examples/telemetry > /dev/null
+	$(GO) run ./examples/hostilechannel
 
 clean:
 	$(GO) clean ./...

@@ -1,12 +1,12 @@
 // Command invck sweeps the conservation-law checker across the full
 // algorithm × fault-plan × seed grid and reports every violation, for CI
 // and pre-release smoke runs: all three coordination algorithms, each
-// under no chaos, a loss burst, a regional blackout, and a manager crash,
-// over several seeds.
+// under no chaos, a loss burst, a regional blackout, a manager crash, and
+// frame corruption at three rates, over several seeds.
 //
 // Usage:
 //
-//	invck                        # default grid: 3 algorithms × 4 plans × 5 seeds
+//	invck                        # default grid: 3 algorithms × 7 plans × 5 seeds
 //	invck -seeds 3 -simtime 4000 # smaller smoke grid
 //	invck -csv grid.csv          # also dump one CSV row per run
 //
@@ -41,7 +41,13 @@ func plans(simtime, side float64) map[string]*chaos.FaultPlan {
 	blackout := fmt.Sprintf("blackout@%g-%g=%g,%g,%g", simtime/4, simtime/2, side/2, side/2, side/4)
 	mgr := fmt.Sprintf("mgr@%g", simtime/4)
 	out := map[string]*chaos.FaultPlan{"none": nil}
-	for name, spec := range map[string]string{"burst": burst, "blackout": blackout, "mgr-crash": mgr} {
+	specs := map[string]string{"burst": burst, "blackout": blackout, "mgr-crash": mgr}
+	// Frame-corruption plans use the default mix mode so every mutation
+	// (bit flips, truncation, garbage, duplication, replay) hits each cell.
+	for name, rate := range map[string]float64{"corrupt-1": 0.01, "corrupt-5": 0.05, "corrupt-20": 0.20} {
+		specs[name] = fmt.Sprintf("corrupt@%g-%g=%g", simtime/4, simtime/2, rate)
+	}
+	for name, spec := range specs {
 		p, err := chaos.Parse(spec)
 		if err != nil {
 			panic(fmt.Sprintf("invck: bad built-in plan %q: %v", spec, err))
@@ -76,7 +82,7 @@ func run(args []string) error {
 	base.Invariants.Enabled = true
 
 	algs := []core.Algorithm{core.Centralized, core.Fixed, core.Dynamic}
-	planNames := []string{"none", "burst", "blackout", "mgr-crash"}
+	planNames := []string{"none", "burst", "blackout", "mgr-crash", "corrupt-1", "corrupt-5", "corrupt-20"}
 	grid := plans(*simtime, base.FieldSide())
 
 	var jobs []runner.Job
@@ -131,11 +137,12 @@ func writeCSV(path string, results []runner.Result) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(f, "algorithm,plan,seed,failures,repairs,violations")
+	fmt.Fprintln(f, "algorithm,plan,seed,failures,repairs,violations,corrupted,malformed,replay_rejected")
 	for _, r := range results {
-		fmt.Fprintf(f, "%s,%s,%d,%d,%d,%d\n",
+		fmt.Fprintf(f, "%s,%s,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Job.Config.Algorithm, r.Job.Tag.(tag).plan, r.Job.Config.Seed,
-			r.Res.FailuresInjected, r.Res.Repairs, len(r.Res.Violations))
+			r.Res.FailuresInjected, r.Res.Repairs, len(r.Res.Violations),
+			r.Res.CorruptedFrames, r.Res.DroppedMalformed, r.Res.ReplayRejected)
 	}
 	if err := f.Close(); err != nil {
 		return err
@@ -145,7 +152,7 @@ func writeCSV(path string, results []runner.Result) error {
 		return err
 	}
 	defer check.Close()
-	if err := analysis.CheckCSV(check, "violations"); err != nil {
+	if err := analysis.CheckCSV(check, "violations", "corrupted", "malformed", "replay_rejected"); err != nil {
 		return fmt.Errorf("%s: emitted CSV failed validation: %w", path, err)
 	}
 	return nil

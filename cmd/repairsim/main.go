@@ -44,7 +44,7 @@ func run(args []string) error {
 	efficient := fs.Bool("efficient-broadcast", false, "enable the §4.3.2 relay-set optimization")
 	fs.Float64Var(&cfg.SensingRange, "sensing", 0, "sensing radius (m); >0 tracks coverage")
 	fs.IntVar(&cfg.CargoCapacity, "cargo", 0, "robot cargo capacity; 0 = unlimited")
-	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
+	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000;corrupt@4000-8000=0.05,mix'")
 	fs.BoolVar(&cfg.Reliability.Enabled, "reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
 	fs.BoolVar(&cfg.Invariants.Enabled, "invariants", false, "run the conservation-law checker; violations print and exit nonzero")
 	telemetryOn := fs.Bool("telemetry", false, "enable telemetry and print its summary")
@@ -116,6 +116,10 @@ func run(args []string) error {
 			res.UnrepairedFailures, res.DuplicateRepairs, res.StrandedTasks, res.RequeuedTasks,
 			res.ReportRetx, res.ReportsAbandoned, res.Redispatches, res.ManagerTakeovers,
 			res.MeanFaultRecovery)
+		if res.CorruptedFrames > 0 {
+			fmt.Printf("hostile channel: corrupted %d   dropped malformed %d   replay-rejected %d\n",
+				res.CorruptedFrames, res.DroppedMalformed, res.ReplayRejected)
+		}
 	}
 	if *telemetryOn {
 		fmt.Print(res.Telemetry.Summary())

@@ -54,7 +54,7 @@ func run(args []string) error {
 	seeds := fs.Int("seeds", 1, "seeds per configuration")
 	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print engine throughput to stderr")
-	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000'")
+	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000;corrupt@4000-8000=0.05,mix'")
 	reliable := fs.Bool("reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
 	invariants := fs.Bool("invariants", false, "run the conservation-law checker per run; adds a violations column and exits nonzero on any")
 	telemetryOn := fs.Bool("telemetry", false, "enable per-run telemetry collection")

@@ -1,0 +1,61 @@
+// Hostile channel: every frame is serialized through the CRC-protected
+// binary codec and a seeded injector mutates in-flight bytes — bit flips,
+// truncation, trailing garbage, duplication, and stale replays. This
+// example sweeps the corruption rate over a mid-run window under the
+// centralized algorithm (whose manager dispatches on unicast robot
+// updates — exactly what replays try to roll back) and prints how the
+// defensive decoding holds up: how many receptions were mutated, how many
+// the checksum discarded, how many stale replays the sequence guards
+// refused, and what damage was left unrepaired at the horizon.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roborepair"
+)
+
+func main() {
+	specs := []string{"", "corrupt@8000-16000=0.01", "corrupt@8000-16000=0.05",
+		"corrupt@8000-16000=0.2",
+		// A replay-only window: every mutated reception is a stale capture,
+		// the case the sequence guards exist for.
+		"corrupt@8000-16000=0.2,replay"}
+	labels := []string{"none", "1% mix", "5% mix", "20% mix", "20% replay"}
+
+	var configs []roborepair.Config
+	for _, spec := range specs {
+		cfg := roborepair.DefaultConfig()
+		cfg.Algorithm = roborepair.Centralized
+		cfg.SimTime = 24000
+		cfg.Seed = 3
+		cfg.Reliability.Enabled = true
+		if spec != "" {
+			plan, err := roborepair.ParseFaultPlan(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Faults = plan
+		}
+		configs = append(configs, cfg)
+	}
+
+	results, err := roborepair.RunMany(configs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("corruption window 8000-16000 s, centralized algorithm, reliability on")
+	fmt.Println()
+	for i, label := range labels {
+		res := results[i]
+		fmt.Printf("%-10s  corrupted=%-6d dropped=%-6d replay-rejected=%-4d repairs=%-4d unrepaired=%d\n",
+			label, res.CorruptedFrames, res.DroppedMalformed, res.ReplayRejected,
+			res.Repairs, res.UnrepairedFailures)
+	}
+	fmt.Println("\nChecksum-failed frames are dropped and counted, never acted on; a")
+	fmt.Println("mutated frame that still decodes can only be a stale replay, which the")
+	fmt.Println("per-robot sequence guards reject. Losses degrade repair latency like a")
+	fmt.Println("lossy burst would — corruption never breaks a conservation law.")
+}

@@ -48,12 +48,31 @@ type Blackout struct {
 	Radius float64    `json:"radius"`
 }
 
+// Corruption mutates in-flight frame bytes with probability P per
+// reception during [From, To) (hostile-channel extension). Mode selects
+// the mutation: "bitflip", "truncate", "garbage", "duplicate", "replay",
+// or "mix" (the default when empty), which draws one of the five per
+// corrupted frame.
+type Corruption struct {
+	From float64 `json:"from"`
+	To   float64 `json:"to"`
+	P    float64 `json:"p"`
+	Mode string  `json:"mode,omitempty"`
+}
+
+// corruptionModes is the accepted Mode set ("" selects mix).
+var corruptionModes = map[string]bool{
+	"": true, "bitflip": true, "truncate": true, "garbage": true,
+	"duplicate": true, "replay": true, "mix": true,
+}
+
 // FaultPlan is a declarative schedule of injected faults. The zero value
 // (and nil) injects nothing.
 type FaultPlan struct {
 	RobotFailures []RobotFailure `json:"robotFailures,omitempty"`
 	LossBursts    []LossBurst    `json:"lossBursts,omitempty"`
 	Blackouts     []Blackout     `json:"blackouts,omitempty"`
+	Corruptions   []Corruption   `json:"corruptions,omitempty"`
 	// ManagerCrashAt kills the central manager at this time. Zero means
 	// never; the field is ignored by algorithms without a central manager.
 	ManagerCrashAt float64 `json:"managerCrashAt,omitempty"`
@@ -63,7 +82,8 @@ type FaultPlan struct {
 func (p *FaultPlan) Empty() bool {
 	return p == nil ||
 		(len(p.RobotFailures) == 0 && len(p.LossBursts) == 0 &&
-			len(p.Blackouts) == 0 && p.ManagerCrashAt == 0)
+			len(p.Blackouts) == 0 && len(p.Corruptions) == 0 &&
+			p.ManagerCrashAt == 0)
 }
 
 // Validate checks the plan's internal consistency. robots is the size of
@@ -102,6 +122,17 @@ func (p *FaultPlan) Validate(robots int) error {
 			return fmt.Errorf("chaos: blackout %d: center %v is not a point", i, b.Center)
 		}
 	}
+	for i, c := range p.Corruptions {
+		if !(c.From >= 0 && c.To > c.From) { // also rejects NaN bounds
+			return fmt.Errorf("chaos: corruption %d: bad window [%v,%v)", i, c.From, c.To)
+		}
+		if !(c.P >= 0 && c.P <= 1) { // also rejects NaN
+			return fmt.Errorf("chaos: corruption %d: probability %v outside [0,1]", i, c.P)
+		}
+		if !corruptionModes[c.Mode] {
+			return fmt.Errorf("chaos: corruption %d: unknown mode %q", i, c.Mode)
+		}
+	}
 	if !(p.ManagerCrashAt >= 0) { // also rejects NaN
 		return fmt.Errorf("chaos: bad manager crash time %v", p.ManagerCrashAt)
 	}
@@ -124,6 +155,13 @@ func (p *FaultPlan) String() string {
 		parts = append(parts, fmt.Sprintf("blackout@%s-%s=%s,%s,%s",
 			ftoa(b.From), ftoa(b.To), ftoa(b.Center.X), ftoa(b.Center.Y), ftoa(b.Radius)))
 	}
+	for _, c := range p.Corruptions {
+		s := fmt.Sprintf("corrupt@%s-%s=%s", ftoa(c.From), ftoa(c.To), ftoa(c.P))
+		if c.Mode != "" {
+			s += "," + c.Mode
+		}
+		parts = append(parts, s)
+	}
 	if p.ManagerCrashAt > 0 {
 		parts = append(parts, fmt.Sprintf("mgr@%s", ftoa(p.ManagerCrashAt)))
 	}
@@ -138,6 +176,10 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 //	robot@T=IDX              robot IDX breaks down at time T
 //	burst@T1-T2=P            loss probability P during [T1,T2)
 //	blackout@T1-T2=X,Y,R     radius-R blackout around (X,Y) during [T1,T2)
+//	corrupt@T1-T2=P[,mode]   corrupt each reception's bytes with
+//	                         probability P during [T1,T2); mode is one of
+//	                         bitflip|truncate|garbage|duplicate|replay|mix
+//	                         (default mix)
 //	mgr@T                    central manager crashes at time T
 //
 // Example: "robot@8000=0;burst@8000-12000=0.05;mgr@16000". An empty spec
@@ -165,6 +207,8 @@ func Parse(spec string) (*FaultPlan, error) {
 			err = parseBurst(p, rest)
 		case "blackout":
 			err = parseBlackout(p, rest)
+		case "corrupt":
+			err = parseCorrupt(p, rest)
 		case "mgr":
 			p.ManagerCrashAt, err = atof(rest)
 		default:
@@ -243,6 +287,31 @@ func parseBlackout(p *FaultPlan, rest string) error {
 	return nil
 }
 
+func parseCorrupt(p *FaultPlan, rest string) error {
+	window, spec, ok := strings.Cut(rest, "=")
+	if !ok {
+		return fmt.Errorf("want T1-T2=P[,mode]")
+	}
+	from, to, err := parseWindow(window)
+	if err != nil {
+		return err
+	}
+	prob, mode, hasMode := strings.Cut(spec, ",")
+	pr, err := atof(prob)
+	if err != nil {
+		return err
+	}
+	mode = strings.TrimSpace(mode)
+	if hasMode && mode == "" {
+		return fmt.Errorf("empty corruption mode after comma")
+	}
+	if !corruptionModes[mode] {
+		return fmt.Errorf("unknown corruption mode %q", mode)
+	}
+	p.Corruptions = append(p.Corruptions, Corruption{From: from, To: to, P: pr, Mode: mode})
+	return nil
+}
+
 func parseWindow(s string) (from, to float64, err error) {
 	// Split at the first '-' that can belong to neither number: not a
 	// leading sign, and not the exponent sign of scientific notation (the
@@ -290,6 +359,9 @@ func (p *FaultPlan) FirstFaultAt() (float64, bool) {
 	}
 	for _, b := range p.Blackouts {
 		times = append(times, b.From)
+	}
+	for _, c := range p.Corruptions {
+		times = append(times, c.From)
 	}
 	if p.ManagerCrashAt > 0 {
 		times = append(times, p.ManagerCrashAt)

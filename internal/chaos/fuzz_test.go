@@ -22,6 +22,10 @@ func FuzzChaosParse(f *testing.F) {
 		"robot@1=2;;;robot@3=4",
 		"quake@100=9",
 		"burst@NaN-100=0.5",
+		"corrupt@1000-2000=0.05",
+		"corrupt@500-2500=0.2,replay",
+		"corrupt@1-2=0.5,gremlins",
+		"burst@100-200=0.1;corrupt@100-200=0.1,mix",
 	} {
 		f.Add(seed)
 	}

@@ -45,6 +45,20 @@ func TestStringParseRoundTripTable(t *testing.T) {
 		{"infinite robot failure time", &FaultPlan{
 			RobotFailures: []RobotFailure{{At: math.Inf(1), Robot: 1}},
 		}},
+		{"corruption default mode", &FaultPlan{
+			Corruptions: []Corruption{{From: 1000, To: 2000, P: 0.05}},
+		}},
+		{"corruption explicit modes", &FaultPlan{
+			Corruptions: []Corruption{
+				{From: 1e-05, To: 3000, P: 1, Mode: "replay"},
+				{From: 100, To: 200, P: 0.125, Mode: "bitflip"},
+				{From: 100, To: 200, P: 0.25, Mode: "mix"},
+			},
+		}},
+		{"corruption alongside other faults", &FaultPlan{
+			LossBursts:  []LossBurst{{From: 100, To: 500, P: 0.2}},
+			Corruptions: []Corruption{{From: 100, To: 500, P: 0.2, Mode: "truncate"}},
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -74,6 +88,12 @@ func TestParseRejectsDegenerateWindows(t *testing.T) {
 		"blackout@1-2=NaN,4,5",     // NaN center
 		"robot@NaN=0",              // NaN failure time
 		"mgr@NaN",                  // NaN crash time
+		"corrupt@100-100=0.5",      // T1 == T2: empty corruption window
+		"corrupt@1-2=NaN",          // NaN corruption probability
+		"corrupt@1-2=2",            // probability above 1
+		"corrupt@1-2=-0.1",         // negative probability
+		"corrupt@1-2=0.5,gremlins", // unknown mutation mode
+		"corrupt@1-2=0.5,",         // empty mode after the comma
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {
@@ -97,6 +117,10 @@ func TestValidateRejectsNaN(t *testing.T) {
 		{Blackouts: []Blackout{{From: 0, To: 10, Radius: 5, Center: geom.Pt(nan, 0)}}},
 		{Blackouts: []Blackout{{From: 0, To: 10, Radius: 5, Center: geom.Pt(0, nan)}}},
 		{ManagerCrashAt: nan},
+		{Corruptions: []Corruption{{From: nan, To: 10, P: 0.5}}},
+		{Corruptions: []Corruption{{From: 0, To: nan, P: 0.5}}},
+		{Corruptions: []Corruption{{From: 0, To: 10, P: nan}}},
+		{Corruptions: []Corruption{{From: 0, To: 10, P: 0.5, Mode: "gremlins"}}},
 	}
 	for i, p := range plans {
 		if err := p.Validate(0); err == nil {

@@ -232,6 +232,12 @@ type Manager struct {
 	dispatches       int
 	seq              uint64
 
+	// strictSeq rejects robot updates whose Seq is below the last accepted
+	// one (hostile-channel defense against stale replays); replayRejected
+	// counts the rejections.
+	strictSeq      bool
+	replayRejected uint64
+
 	// Reliability-extension state (inert when rel is zero).
 	rel         ManagerReliability
 	failed      bool
@@ -246,6 +252,7 @@ type Manager struct {
 type robotInfo struct {
 	loc  geom.Point
 	load int
+	seq  uint64
 }
 
 var _ radio.Station = (*Manager)(nil)
@@ -297,6 +304,15 @@ func (m *Manager) RobotLocations() map[radio.NodeID]geom.Point {
 
 // SetDispatchPolicy selects the dispatch rule (DispatchClosest default).
 func (m *Manager) SetDispatchPolicy(p DispatchPolicy) { m.policy = p }
+
+// SetStrictSeq toggles rejection of stale-sequence robot updates. The
+// hostile-channel layer turns it on; it stays off on a benign medium,
+// where multi-path relaying genuinely reorders updates.
+func (m *Manager) SetStrictSeq(on bool) { m.strictSeq = on }
+
+// ReplayRejected reports how many robot updates the strict-sequence guard
+// rejected as stale.
+func (m *Manager) ReplayRejected() uint64 { return m.replayRejected }
 
 // RadioID implements radio.Station.
 func (m *Manager) RadioID() radio.NodeID { return m.id }
@@ -369,7 +385,13 @@ func (m *Manager) deliver(p netstack.Packet) {
 	}
 	switch msg := p.Payload.(type) {
 	case wire.RobotUpdate:
-		m.robots[msg.Robot] = robotInfo{loc: msg.Loc, load: msg.Load}
+		if info, ok := m.robots[msg.Robot]; m.strictSeq && ok && msg.Seq < info.seq {
+			// Hostile channel: a replayed update would roll the robot's
+			// position back. Equal Seq is an idempotent duplicate and passes.
+			m.replayRejected++
+			return
+		}
+		m.robots[msg.Robot] = robotInfo{loc: msg.Loc, load: msg.Load, seq: msg.Seq}
 		if m.rel.Enabled() {
 			m.noteRobot(msg.Robot)
 			m.ackHeartbeat(msg)

@@ -150,10 +150,13 @@ type Checker struct {
 	// Robot kinematics.
 	robotSpeed float64
 
-	// Radio accounting.
-	txUnicast uint64
-	rxUnicast uint64
-	txTotal   uint64
+	// Radio accounting. dupUnicast credits unicast deliveries the hostile
+	// channel injected (duplicated or replayed frames) on top of real
+	// transmissions.
+	txUnicast  uint64
+	rxUnicast  uint64
+	dupUnicast uint64
+	txTotal    uint64
 
 	// Failure lifecycle, keyed by deployment site (replacements boot at
 	// exactly the failed sensor's coordinates).
@@ -240,6 +243,16 @@ func (c *Checker) FrameSent(f radio.Frame) {
 	c.txTotal++
 	if f.Dst != radio.IDBroadcast {
 		c.txUnicast++
+	}
+}
+
+// FrameDuplicated implements radio.Auditor: the hostile channel injected
+// an extra delivery of f (duplication or stale replay), which the
+// matching FrameDelivered will count as a reception without a
+// transmission behind it.
+func (c *Checker) FrameDuplicated(f radio.Frame) {
+	if f.Dst != radio.IDBroadcast {
+		c.dupUnicast++
 	}
 }
 
@@ -399,9 +412,9 @@ func (c *Checker) Finalize(t Totals) {
 			"Results.UnrepairedFailures=%d exceeds the %d sites with an open failure",
 			t.UnrepairedFailures, sitesOpen))
 	}
-	if c.rxUnicast > c.txUnicast {
+	if c.rxUnicast > c.txUnicast+c.dupUnicast {
 		c.Violate(LawTxConservation, "", fmt.Sprintf(
-			"%d unicast deliveries exceed %d unicast transmissions",
-			c.rxUnicast, c.txUnicast))
+			"%d unicast deliveries exceed %d unicast transmissions + %d injected duplicates",
+			c.rxUnicast, c.txUnicast, c.dupUnicast))
 	}
 }

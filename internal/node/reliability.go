@@ -107,10 +107,10 @@ func (s *Sensor) reportTarget(loc geom.Point) (radio.NodeID, geom.Point) {
 	var bestID radio.NodeID
 	var bestLoc geom.Point
 	bestD := -1.0
-	for id, rloc := range s.robots {
-		d := loc.Dist2(rloc)
+	for id, tr := range s.robots {
+		d := loc.Dist2(tr.loc)
 		if bestD < 0 || d < bestD || (d == bestD && id < bestID) {
-			bestID, bestLoc, bestD = id, rloc, d
+			bestID, bestLoc, bestD = id, tr.loc, d
 		}
 	}
 	if bestD < 0 {
@@ -130,8 +130,8 @@ func (s *Sensor) sendReport(p *pendingReport) {
 		// that accepted it — re-running site affinity here would fan slow
 		// retransmissions across robots as their tables evolve and trigger
 		// duplicate trips. Re-pick only once that robot expires.
-		if loc, ok := s.robots[p.target]; ok {
-			target, targetLoc = p.target, loc
+		if tr, ok := s.robots[p.target]; ok {
+			target, targetLoc = p.target, tr.loc
 		}
 	}
 	if target != 0 {
@@ -316,7 +316,9 @@ func (s *Sensor) expireRobots(now sim.Time) {
 // takeover flood.
 func (s *Sensor) adoptManager(t wire.ManagerTakeover, now sim.Time) {
 	s.manager = t.Manager
-	s.robots[t.Manager] = t.Loc
+	tr := s.robots[t.Manager] // keep the accepted Seq; takeovers carry none
+	tr.loc = t.Loc
+	s.robots[t.Manager] = tr
 	if s.robotHeard != nil {
 		s.robotHeard[t.Manager] = now
 	}

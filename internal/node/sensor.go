@@ -49,6 +49,12 @@ type Config struct {
 	// relaying sensor designates at most six angular-sector forwarders
 	// instead of letting every neighbor relay.
 	EfficientBroadcast bool
+	// StrictSeq rejects robot updates whose Seq is below the last accepted
+	// one for that robot (hostile-channel defense: stale replays must not
+	// roll robot positions back). Off by default — on a benign medium
+	// multi-path flood relaying genuinely reorders updates, and acting on
+	// the freshest-heard value reproduces the paper's behaviour.
+	StrictSeq bool
 	// Reliability configures the report-retransmission extension. The
 	// zero value reproduces the paper's fire-and-forget behaviour.
 	Reliability Reliability
@@ -78,6 +84,12 @@ type guardee struct {
 	lastHeard sim.Time
 }
 
+// robotTrack is the last accepted state for a known robot or manager.
+type robotTrack struct {
+	loc geom.Point
+	seq uint64
+}
+
 // Sensor is one static sensor node.
 type Sensor struct {
 	id     radio.NodeID
@@ -101,7 +113,10 @@ type Sensor struct {
 
 	target    radio.NodeID // failure report destination
 	targetLoc geom.Point
-	robots    map[radio.NodeID]geom.Point // known robots/managers (never guardians)
+	robots    map[radio.NodeID]robotTrack // known robots/managers (never guardians)
+
+	// replayRejected counts robot updates dropped by the StrictSeq guard.
+	replayRejected uint64
 
 	// Reliability-extension state (inert at the zero Reliability config).
 	reportSeq   uint64
@@ -127,7 +142,7 @@ func NewSensor(id radio.NodeID, pos geom.Point, cfg Config, policy Policy, mediu
 		table:    netstack.NewNeighborTable(),
 		flooder:  netstack.NewFlooder(),
 		guardees: make(map[radio.NodeID]guardee),
-		robots:   make(map[radio.NodeID]geom.Point),
+		robots:   make(map[radio.NodeID]robotTrack),
 		manager:  cfg.Reliability.Manager,
 	}
 	if cfg.Reliability.RetryEnabled() {
@@ -191,9 +206,13 @@ func (s *Sensor) Table() *netstack.NeighborTable { return s.table }
 
 // KnowsRobot reports the last location the sensor heard for a robot.
 func (s *Sensor) KnowsRobot(id radio.NodeID) (geom.Point, bool) {
-	p, ok := s.robots[id]
-	return p, ok
+	tr, ok := s.robots[id]
+	return tr.loc, ok
 }
+
+// ReplayRejected reports how many robot updates the StrictSeq guard
+// rejected as stale.
+func (s *Sensor) ReplayRejected() uint64 { return s.replayRejected }
 
 // ClosestKnownRobot returns the robot closest to this sensor according to
 // the last-heard locations, resolving ties by lowest ID for determinism.
@@ -201,10 +220,10 @@ func (s *Sensor) ClosestKnownRobot() (radio.NodeID, geom.Point, bool) {
 	var bestID radio.NodeID
 	var bestLoc geom.Point
 	bestD := -1.0
-	for id, loc := range s.robots {
-		d := s.pos.Dist2(loc)
+	for id, tr := range s.robots {
+		d := s.pos.Dist2(tr.loc)
 		if bestD < 0 || d < bestD || (d == bestD && id < bestID) {
-			bestID, bestLoc, bestD = id, loc, d
+			bestID, bestLoc, bestD = id, tr.loc, d
 		}
 	}
 	return bestID, bestLoc, bestD >= 0
@@ -340,9 +359,9 @@ func (s *Sensor) tick() {
 	// Robots are exempt: they beacon on their own schedule (location
 	// updates), and purging them would orphan the last-hop delivery.
 	for _, id := range s.table.Purge(deadline) {
-		if _, isRobot := s.robots[id]; isRobot {
-			if loc, ok := s.robots[id]; ok && s.pos.Dist(loc) <= s.cfg.Range {
-				s.table.Upsert(id, loc, now)
+		if tr, isRobot := s.robots[id]; isRobot {
+			if s.pos.Dist(tr.loc) <= s.cfg.Range {
+				s.table.Upsert(id, tr.loc, now)
 			}
 		}
 	}
@@ -487,7 +506,13 @@ func (s *Sensor) hearNeighbor(from radio.NodeID, loc geom.Point, now sim.Time) {
 
 // noteRobot records a robot's position and refreshes target/table state.
 func (s *Sensor) noteRobot(up wire.RobotUpdate, now sim.Time) {
-	s.robots[up.Robot] = up.Loc
+	if tr, known := s.robots[up.Robot]; s.cfg.StrictSeq && known && up.Seq < tr.seq {
+		// Hostile channel: a replayed update would roll the robot's
+		// position back. Equal Seq is an idempotent duplicate and passes.
+		s.replayRejected++
+		return
+	}
+	s.robots[up.Robot] = robotTrack{loc: up.Loc, seq: up.Seq}
 	if s.robotHeard != nil {
 		s.robotHeard[up.Robot] = now
 	}

@@ -69,6 +69,29 @@ type Auditor interface {
 	FrameSent(f Frame)
 	// FrameDelivered records one reception about to be handed to dst.
 	FrameDelivered(f Frame, from geom.Point, rng float64, dst Station)
+	// FrameDuplicated records one extra reception injected by the hostile
+	// channel (a duplicated or replayed frame), so the tx-conservation law
+	// can credit the surplus. It fires before the matching FrameDelivered.
+	FrameDuplicated(f Frame)
+}
+
+// Channel serializes frames at the medium boundary (hostile-channel
+// extension). When installed, every accepted Send is encoded once and
+// each reception is decoded independently, so injected byte corruption
+// meets the same defensive decoding a real radio would need. Encode must
+// return a fresh buffer each call; delivered buffers are never mutated.
+type Channel interface {
+	Encode(f Frame) ([]byte, error)
+	Decode(b []byte) (Frame, error)
+}
+
+// Corrupter mutates in-flight frame bytes. Corrupt is called once per
+// reception with the sender's encoding; it must never modify b in place
+// (the buffer is shared across all receivers of one transmission) and
+// returns the bytes to decode, whether they were mutated, and whether the
+// frame additionally arrives a second time (duplication).
+type Corrupter interface {
+	Corrupt(b []byte) (out []byte, corrupted, dup bool)
 }
 
 // LossModel decides whether a particular reception is dropped.
@@ -146,6 +169,14 @@ type Config struct {
 	Outage OutageModel
 	// Contention optionally enables the MAC collision model.
 	Contention ContentionConfig
+	// Channel, when non-nil, serializes every frame on Send and decodes it
+	// per reception (hostile-channel extension). Nil keeps the frames as
+	// Go values, byte-for-byte reproducing the codec-free medium.
+	Channel Channel
+	// Corrupter, when non-nil, mutates in-flight bytes between Encode and
+	// Decode. Requires Channel; NewMedium rejects the combination without
+	// one.
+	Corrupter Corrupter
 }
 
 // Medium is the shared wireless channel. It is single-threaded, driven by
@@ -171,6 +202,9 @@ type Medium struct {
 	frameLoss FrameLossModel
 	// audit, when non-nil, observes every transmission and delivery.
 	audit Auditor
+	// channelDrop, when non-nil, observes every frame the hostile channel
+	// drops as malformed (telemetry feed; see SetChannelDropHook).
+	channelDrop func(f Frame)
 }
 
 // sendSnapshot freezes the sender's position and range at Send time.
@@ -193,6 +227,9 @@ func NewMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg Config) (*Medium
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("radio: invalid loss model: %w", err)
 		}
+	}
+	if cfg.Corrupter != nil && cfg.Channel == nil {
+		return nil, fmt.Errorf("radio: a Corrupter needs a Channel to produce bytes to corrupt")
 	}
 	fl, _ := cfg.Loss.(FrameLossModel)
 	return &Medium{
@@ -222,6 +259,11 @@ func (m *Medium) Loss() LossModel { return m.cfg.Loss }
 // SetAuditor installs (or, with nil, removes) the medium's delivery
 // auditor.
 func (m *Medium) SetAuditor(a Auditor) { m.audit = a }
+
+// SetChannelDropHook installs (or, with nil, removes) an observer called
+// once per frame the hostile channel drops as malformed. The frame passed
+// is the sender's view (the received bytes failed to decode).
+func (m *Medium) SetChannelDropHook(hook func(f Frame)) { m.channelDrop = hook }
 
 // Attach registers a station at its current position. Attaching an ID that
 // is already present replaces the previous station.
@@ -380,16 +422,28 @@ func (m *Medium) Send(f Frame) {
 	if m.audit != nil {
 		m.audit.FrameSent(f)
 	}
+	// With a channel installed the frame is serialized exactly once per
+	// transmission, into a fresh buffer (replay capture keeps references).
+	var enc []byte
+	if m.cfg.Channel != nil {
+		b, err := m.cfg.Channel.Encode(f)
+		if err != nil {
+			// Only payloads outside the wire message set fail to encode —
+			// a programming error, not a channel condition.
+			panic(fmt.Sprintf("radio: unencodable %s frame: %v", f.Category, err))
+		}
+		enc = b
+	}
 	if m.cfg.Contention.Enabled() {
-		m.sendContended(f, sendSnapshot{pos: src.RadioPos(), rng: src.RadioRange()})
+		m.sendContended(f, enc, sendSnapshot{pos: src.RadioPos(), rng: src.RadioRange()})
 		return
 	}
 	if m.cfg.Latency <= 0 {
-		m.deliver(f, src.RadioPos(), src.RadioRange())
+		m.deliver(f, enc, src.RadioPos(), src.RadioRange())
 		return
 	}
 	pos, rng := src.RadioPos(), src.RadioRange()
-	m.sched.After(m.cfg.Latency, func() { m.deliver(f, pos, rng) })
+	m.sched.After(m.cfg.Latency, func() { m.deliver(f, enc, pos, rng) })
 }
 
 // CatBlackout is the metrics category counting transmissions swallowed
@@ -415,7 +469,7 @@ func (m *Medium) silenced(p geom.Point) bool {
 	return m.cfg.Outage != nil && m.cfg.Outage.Silenced(p)
 }
 
-func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
+func (m *Medium) deliver(f Frame, enc []byte, from geom.Point, rng float64) {
 	if m.silenced(from) {
 		m.reg.CountTx(CatBlackout, 1)
 		return
@@ -434,10 +488,7 @@ func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
 		if m.lost(f, f.Dst) {
 			return
 		}
-		if m.audit != nil {
-			m.audit.FrameDelivered(f, from, rng, dst)
-		}
-		dst.HandleFrame(f)
+		m.handoff(f, enc, from, rng, dst)
 		return
 	}
 	buf := m.neighbors(from, rng, f.Src)
@@ -448,12 +499,75 @@ func (m *Medium) deliver(f Frame, from geom.Point, rng float64) {
 		if m.lost(f, s.RadioID()) {
 			continue
 		}
-		if m.audit != nil {
-			m.audit.FrameDelivered(f, from, rng, s)
-		}
-		s.HandleFrame(f)
+		m.handoff(f, enc, from, rng, s)
 	}
 	m.recycle(buf)
+}
+
+// CatCorruptFrame counts receptions whose bytes the hostile channel
+// mutated (including injected duplicates and replays); CatMalformed
+// counts receptions the defensive decoder then dropped — checksum
+// failures, truncations, and misaddressed replays the NIC filter rejects.
+const (
+	CatCorruptFrame = "corrupt_frame"
+	CatMalformed    = "drop_malformed"
+)
+
+// handoff passes one reception to a station. With no channel installed it
+// reduces to the audit hook plus HandleFrame; otherwise the reception is
+// independently corrupted and defensively decoded first.
+func (m *Medium) handoff(f Frame, enc []byte, from geom.Point, rng float64, dst Station) {
+	if enc == nil {
+		if m.audit != nil {
+			m.audit.FrameDelivered(f, from, rng, dst)
+		}
+		dst.HandleFrame(f)
+		return
+	}
+	b, corrupted, dup := enc, false, false
+	if m.cfg.Corrupter != nil {
+		b, corrupted, dup = m.cfg.Corrupter.Corrupt(enc)
+	}
+	if corrupted || dup {
+		m.reg.CountTx(CatCorruptFrame, 1)
+	}
+	g, err := m.cfg.Channel.Decode(b)
+	if err != nil {
+		// Checksum or structure failure: drop, count, never act on it.
+		m.reg.CountTx(CatMalformed, 1)
+		if m.channelDrop != nil {
+			m.channelDrop(f)
+		}
+		return
+	}
+	// NIC address filter: a replayed frame captured elsewhere may carry a
+	// unicast address for some other station; the hardware filter discards
+	// it before the stack ever sees it.
+	if g.Dst != IDBroadcast && g.Dst != dst.RadioID() {
+		m.reg.CountTx(CatMalformed, 1)
+		if m.channelDrop != nil {
+			m.channelDrop(g)
+		}
+		return
+	}
+	if corrupted && m.audit != nil {
+		// CRC-32/IEEE detects all 1–3-bit mutations at these frame sizes,
+		// so a mutated frame that still decodes can only be a stale replay
+		// of a previously valid frame — an extra delivery the
+		// tx-conservation law must credit.
+		m.audit.FrameDuplicated(g)
+	}
+	if m.audit != nil {
+		m.audit.FrameDelivered(g, from, rng, dst)
+	}
+	dst.HandleFrame(g)
+	if dup {
+		if m.audit != nil {
+			m.audit.FrameDuplicated(g)
+			m.audit.FrameDelivered(g, from, rng, dst)
+		}
+		dst.HandleFrame(g)
+	}
 }
 
 // Scheduler exposes the simulation scheduler driving this medium.

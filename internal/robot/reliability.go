@@ -69,6 +69,7 @@ type peerState struct {
 	loc   geom.Point
 	heard sim.Time
 	load  int
+	seq   uint64
 }
 
 // outDispatch is a repair request the managing robot has issued and not
@@ -191,7 +192,13 @@ func (r *Robot) notePeer(up wire.RobotUpdate) {
 	if up.Robot == r.id {
 		return
 	}
-	r.peers[up.Robot] = peerState{loc: up.Loc, heard: r.sched.Now(), load: up.Load}
+	if p, ok := r.peers[up.Robot]; r.cfg.StrictSeq && ok && up.Seq < p.seq {
+		// Hostile channel: a replayed update would roll the peer's position
+		// back. Equal Seq is an idempotent duplicate and passes.
+		r.replayRejected++
+		return
+	}
+	r.peers[up.Robot] = peerState{loc: up.Loc, heard: r.sched.Now(), load: up.Load, seq: up.Seq}
 }
 
 // handleFloodRel processes floods a reliability-enabled robot overhears.

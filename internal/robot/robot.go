@@ -56,6 +56,11 @@ type Config struct {
 	// Reliability configures heartbeats, acknowledgements, and manager
 	// failover (extension; the zero value disables all of it).
 	Reliability Reliability
+	// StrictSeq rejects peer location updates whose Seq is below the last
+	// accepted one for that peer (hostile-channel defense: stale replays
+	// must not roll peer positions back). Off by default — on a benign
+	// medium flood relaying genuinely reorders updates.
+	StrictSeq bool
 }
 
 // Task is one queued repair job.
@@ -139,17 +144,18 @@ type Robot struct {
 	failed     bool
 
 	// Reliability-extension state (inert when cfg.Reliability is zero).
-	relTicker     *sim.Ticker
-	mgrID         radio.NodeID
-	mgrLoc        geom.Point
-	lastMgrAck    sim.Time
-	takeoverEv    sim.Event
-	takeoverArmed bool
-	managing      bool
-	stranded      []Task
-	seen          map[radio.NodeID]bool         // failed IDs already queued or dispatched
-	peers         map[radio.NodeID]peerState    // other robots, by last heartbeat
-	outstanding   map[radio.NodeID]*outDispatch // managing role: issued requests by failed ID
+	relTicker      *sim.Ticker
+	mgrID          radio.NodeID
+	mgrLoc         geom.Point
+	lastMgrAck     sim.Time
+	takeoverEv     sim.Event
+	takeoverArmed  bool
+	managing       bool
+	stranded       []Task
+	seen           map[radio.NodeID]bool         // failed IDs already queued or dispatched
+	replayRejected uint64                        // peer updates dropped by the StrictSeq guard
+	peers          map[radio.NodeID]peerState    // other robots, by last heartbeat
+	outstanding    map[radio.NodeID]*outDispatch // managing role: issued requests by failed ID
 }
 
 var _ radio.Station = (*Robot)(nil)
@@ -230,6 +236,10 @@ func (r *Robot) Cargo() int { return r.cargo }
 
 // Restocks reports how many depot reload trips the robot has made.
 func (r *Robot) Restocks() int { return r.restocks }
+
+// ReplayRejected reports how many peer updates the StrictSeq guard
+// rejected as stale.
+func (r *Robot) ReplayRejected() uint64 { return r.replayRejected }
 
 // Router exposes the robot's router (the central manager role reuses it).
 func (r *Robot) Router() *netstack.Router { return r.router }

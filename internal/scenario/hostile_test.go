@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"testing"
+
+	"roborepair/internal/chaos"
+	"roborepair/internal/core"
+)
+
+// hostileTestConfig is the corruption-test base: short horizon, enough
+// failures inside it, reliability on (the defenses under test include its
+// seq/seen machinery), invariants on (corruption must never break a
+// conservation law).
+func hostileTestConfig(seed int64, spec string) Config {
+	cfg := invTestConfig(seed)
+	cfg.Reliability.Enabled = true
+	plan, err := chaos.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Faults = plan
+	return cfg
+}
+
+// TestHostileChannelInvariantsClean runs every algorithm under heavy mixed
+// corruption with the conservation-law checker armed: mutated frames must
+// be dropped or credited, never acted on in a way that breaks accounting,
+// and never panic a receiver.
+func TestHostileChannelInvariantsClean(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.Centralized, core.Fixed, core.Dynamic} {
+		cfg := hostileTestConfig(7, "corrupt@500-2500=0.2")
+		cfg.Algorithm = alg
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v: violation: %s", alg, v)
+		}
+		if res.CorruptedFrames == 0 {
+			t.Errorf("%v: corruption window open yet no frames corrupted", alg)
+		}
+		if res.DroppedMalformed == 0 {
+			t.Errorf("%v: frames corrupted yet none dropped as malformed", alg)
+		}
+		if res.DroppedMalformed > res.CorruptedFrames {
+			t.Errorf("%v: %d malformed drops exceed %d corrupted receptions",
+				alg, res.DroppedMalformed, res.CorruptedFrames)
+		}
+		if res.Repairs == 0 {
+			t.Errorf("%v: the network stopped repairing under 20%% corruption", alg)
+		}
+	}
+}
+
+// TestHostileChannelReplayGuard: under pure replay corruption the
+// strict-sequence guards must actually fire — stale RobotUpdate replays
+// reach receivers as valid frames and only the seq machinery stops them.
+func TestHostileChannelReplayGuard(t *testing.T) {
+	cfg := hostileTestConfig(7, "corrupt@500-2500=0.5,replay")
+	cfg.Algorithm = core.Centralized
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReplayRejected == 0 {
+		t.Error("replay corruption active yet no stale updates rejected")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestHostileChannelDeterminism: a corrupted run is still a deterministic
+// function of (Config, Seed) — the corrupter draws from its own split
+// stream, so two runs report identical Results.
+func TestHostileChannelDeterminism(t *testing.T) {
+	cfg := hostileTestConfig(11, "corrupt@500-2500=0.1")
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja, jb := resultsJSON(t, a), resultsJSON(t, b); ja != jb {
+		t.Errorf("corrupted runs diverge:\n a %s\n b %s", ja, jb)
+	}
+}
+
+// TestHostileChannelDegradationBounded compares 5%% frame corruption
+// against a 5%% loss burst over the same window: corruption destroys the
+// same deliveries (plus checksum-dropped mutations), and the defensive
+// layer must keep the repair pipeline in the same regime — unrepaired
+// sites at the horizon stay within 2× of the loss-only run, summed over
+// seeds so single-site noise cannot flip the verdict.
+func TestHostileChannelDegradationBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed comparison run")
+	}
+	lossOnly, corrupt := 0, 0
+	for seed := int64(1); seed <= 3; seed++ {
+		base, err := Run(hostileTestConfig(seed, "burst@500-2500=0.05"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hard, err := Run(hostileTestConfig(seed, "corrupt@500-2500=0.05"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossOnly += base.UnrepairedFailures
+		corrupt += hard.UnrepairedFailures
+	}
+	if corrupt > 2*lossOnly {
+		t.Errorf("unrepaired sites under corruption %d exceed 2× the loss-only %d", corrupt, lossOnly)
+	}
+}
+
+// TestCorruptionLayerAbsentWhenOff: a fault plan without corruption
+// windows must not install the codec — the hostile counters stay zero and
+// Results match the plan-free medium's accounting shape. (Bit-identity of
+// corruption-off runs is locked by TestGoldenResultsInvariantsOff and the
+// allocation ceiling by TestInvariantsOffAllocations.)
+func TestCorruptionLayerAbsentWhenOff(t *testing.T) {
+	cfg := hostileTestConfig(7, "burst@500-2500=0.1")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptedFrames != 0 || res.DroppedMalformed != 0 || res.ReplayRejected != 0 {
+		t.Errorf("hostile counters nonzero without corruption windows: %d/%d/%d",
+			res.CorruptedFrames, res.DroppedMalformed, res.ReplayRejected)
+	}
+}

@@ -308,6 +308,16 @@ type Results struct {
 	// MeanFaultRecovery averages the fault_recovery_s series: takeover
 	// latency after a manager crash and drain latency of re-queued tasks.
 	MeanFaultRecovery float64 `json:"meanFaultRecoveryS"`
+	// Hostile-channel counters (all zero unless the fault plan has
+	// corruption windows). CorruptedFrames counts receptions whose bytes
+	// the injector mutated (duplicates and replays included);
+	// DroppedMalformed counts receptions the defensive decoder discarded
+	// (checksum/structure failures and misaddressed replays);
+	// ReplayRejected counts stale robot updates the strict-sequence guards
+	// refused to act on, summed over manager, robots, and sensors.
+	CorruptedFrames  uint64 `json:"corruptedFrames,omitempty"`
+	DroppedMalformed uint64 `json:"droppedMalformed,omitempty"`
+	ReplayRejected   uint64 `json:"replayRejected,omitempty"`
 
 	// Registry holds the full per-category accounting.
 	Registry *metrics.Registry `json:"-"`

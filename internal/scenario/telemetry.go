@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"roborepair/internal/radio"
 	"roborepair/internal/telemetry"
 )
 
@@ -16,6 +17,11 @@ const (
 	TelHistReportRetx = "report_retx_attempt"
 	// TelHistTripMeters buckets the per-repair robot trip distance.
 	TelHistTripMeters = "robot_trip_meters"
+	// TelHistDecodeFail buckets the sim time (seconds) of each frame the
+	// hostile channel's defensive decoder dropped, so corruption windows
+	// show up as mass in the matching buckets. Registered only when the
+	// fault plan has corruption windows.
+	TelHistDecodeFail = "decode_failures"
 )
 
 // Telemetry gauge (time-series column) names, in sampling order.
@@ -52,6 +58,14 @@ func (w *World) startTelemetry() error {
 	w.telReportHops = c.LogHistogram(TelHistReportHops, 1, 8)
 	w.telReportRetx = c.LogHistogram(TelHistReportRetx, 1, 8)
 	w.telTrip = c.LogHistogram(TelHistTripMeters, 4, 16)
+	if w.hostile {
+		// Log buckets over sim time: 0..64 s in the first, the paper's full
+		// 64000 s horizon inside the last.
+		decode := c.LogHistogram(TelHistDecodeFail, 64, 12)
+		w.Medium.SetChannelDropHook(func(radio.Frame) {
+			decode.Add(float64(w.Sched.Now()))
+		})
+	}
 
 	// Gauges read only deterministic simulation state, so sampled series
 	// are identical whatever the surrounding experiment's worker count.

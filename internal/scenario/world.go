@@ -74,6 +74,11 @@ type World struct {
 	// inv is the conservation-law checker; nil when Config.Invariants is
 	// disabled, so the hooks pay one nil check.
 	inv *invariant.Checker
+
+	// hostile is set when the fault plan has corruption windows: the frame
+	// codec and corrupter are installed on the medium and every receiver
+	// runs its strict-sequence replay guard.
+	hostile bool
 }
 
 // New builds a world from the configuration.
@@ -88,6 +93,9 @@ func New(cfg Config) (*World, error) {
 	// never perturbs the base loss sequence.
 	loss := cfg.lossModel(rng.Split(cfg.Seed, "loss"))
 	var outage radio.OutageModel
+	var channel radio.Channel
+	var corrupter radio.Corrupter
+	hostile := false
 	if cfg.Faults != nil {
 		if len(cfg.Faults.LossBursts) > 0 {
 			loss = chaos.NewLossInjector(cfg.Faults.LossBursts, loss, sched.Now, rng.Split(cfg.Seed, "chaos-loss"))
@@ -95,12 +103,22 @@ func New(cfg Config) (*World, error) {
 		if o := chaos.NewRegionOutage(cfg.Faults.Blackouts, sched.Now); o != nil {
 			outage = o
 		}
+		if len(cfg.Faults.Corruptions) > 0 {
+			// Hostile channel: serialize every frame so the corrupter has
+			// bytes to mutate, from its own stream so a corruption window
+			// never perturbs the loss or MAC sequences.
+			hostile = true
+			channel = wire.FrameCodec{}
+			corrupter = chaos.NewFrameCorrupter(cfg.Faults.Corruptions, sched.Now, rng.Split(cfg.Seed, "chaos-corrupt"))
+		}
 	}
 	medium, err := radio.NewMedium(sched, reg, radio.Config{
 		CellSize:   cfg.SensorRange,
 		Loss:       loss,
 		Outage:     outage,
 		Contention: cfg.contentionModel(rng.Split(cfg.Seed, "mac")),
+		Channel:    channel,
+		Corrupter:  corrupter,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
@@ -113,6 +131,7 @@ func New(cfg Config) (*World, error) {
 		Sensors:        make(map[radio.NodeID]*node.Sensor, cfg.NumSensors()),
 		nextID:         1,
 		managerCrashAt: -1,
+		hostile:        hostile,
 	}
 	if cfg.Invariants.Enabled {
 		w.startInvariants()
@@ -348,6 +367,7 @@ func New(cfg Config) (*World, error) {
 		rcfg.Cargo = cfg.CargoCapacity
 		rcfg.Depot = bounds.Center()
 	}
+	rcfg.StrictSeq = hostile
 	if rel.Enabled {
 		rcfg.Reliability = robot.Reliability{
 			HeartbeatPeriod:    sim.Duration(rel.HeartbeatS),
@@ -382,6 +402,9 @@ func New(cfg Config) (*World, error) {
 	if w.Manager != nil {
 		if cfg.ETADispatch {
 			w.Manager.SetDispatchPolicy(core.DispatchShortestETA)
+		}
+		if hostile {
+			w.Manager.SetStrictSeq(true)
 		}
 		w.Manager.Start(initDelay)
 	}
@@ -518,6 +541,7 @@ func (w *World) sensorConfig() node.Config {
 		FloodTTL:           core.FloodTTL,
 		EfficientBroadcast: w.Cfg.EfficientBroadcast,
 		Reliability:        w.relNode,
+		StrictSeq:          w.hostile,
 	}
 }
 
@@ -665,6 +689,18 @@ func (w *World) results() Results {
 	res.DuplicateRepairs = w.dupRepairs
 	if s := reg.Series(metrics.SeriesFaultRecovery); s.N() > 0 {
 		res.MeanFaultRecovery = s.Mean()
+	}
+	res.CorruptedFrames = reg.Tx(radio.CatCorruptFrame)
+	res.DroppedMalformed = reg.Tx(radio.CatMalformed)
+	if w.Manager != nil {
+		res.ReplayRejected += w.Manager.ReplayRejected()
+	}
+	for _, r := range w.Robots {
+		res.ReplayRejected += r.ReplayRejected()
+	}
+	for _, s := range w.Sensors {
+		// Map order varies; a sum of counters is commutative.
+		res.ReplayRejected += s.ReplayRejected()
 	}
 	if w.inv != nil {
 		res.Violations = w.inv.Violations()

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"roborepair/internal/geom"
+	"roborepair/internal/netstack"
 	"roborepair/internal/radio"
 	"roborepair/internal/sim"
 )
@@ -34,6 +35,12 @@ const (
 	tagManagerTakeover  byte = 9
 	tagRepairRequest    byte = 10
 	tagRobotUpdate      byte = 11
+
+	// Network-layer envelopes (hostile-channel extension): routed packets
+	// and controlled floods carry a nested message body. The gap before 32
+	// leaves room for future application bodies.
+	tagPacket   byte = 32
+	tagFloodMsg byte = 33
 )
 
 // Encoded sizes: tag byte + 8 bytes per scalar field (bools take 1).
@@ -51,8 +58,12 @@ const (
 	sizeRobotUpdate      = 1 + 8 + 16 + 8 + 8 + 1
 )
 
-// enc is an append-only little-endian writer.
-type enc struct{ b []byte }
+// enc is an append-only little-endian writer. Oversized variable-length
+// fields poison it via err, surfaced by Encode.
+type enc struct {
+	b   []byte
+	err error
+}
 
 func (e *enc) id(v radio.NodeID) { e.u64(uint64(int64(v))) }
 func (e *enc) i(v int)           { e.u64(uint64(int64(v))) }
@@ -66,6 +77,50 @@ func (e *enc) bool(v bool) {
 	} else {
 		e.b = append(e.b, 0)
 	}
+}
+
+func (e *enc) u16(v int) {
+	if v < 0 || v > math.MaxUint16 {
+		e.err = fmt.Errorf("wire: length %d outside uint16", v)
+		v = 0
+	}
+	e.b = binary.LittleEndian.AppendUint16(e.b, uint16(v))
+}
+
+func (e *enc) str(s string) {
+	e.u16(len(s))
+	e.b = append(e.b, s...)
+}
+
+// ids writes a NodeID list with a presence flag so nil and empty survive
+// the round trip distinctly (a nil flood relay set means "everyone may
+// relay"; an empty one means "no one may").
+func (e *enc) ids(v []radio.NodeID) {
+	if v == nil {
+		e.bool(false)
+		return
+	}
+	e.bool(true)
+	e.u16(len(v))
+	for _, id := range v {
+		e.id(id)
+	}
+}
+
+// nested writes a length-prefixed inner message body; nil encodes as
+// length 0 (a real body is never empty, so the form is unambiguous).
+func (e *enc) nested(payload any) {
+	if payload == nil {
+		e.u16(0)
+		return
+	}
+	b, err := Encode(payload)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.u16(len(b))
+	e.b = append(e.b, b...)
 }
 
 // dec is a consuming little-endian reader; short reads poison it.
@@ -103,6 +158,62 @@ func (d *dec) bool() bool {
 		d.bad = true
 	}
 	return v == 1
+}
+
+func (d *dec) u16() int {
+	if len(d.b) < 2 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return int(v)
+}
+
+func (d *dec) str() string {
+	n := d.u16()
+	if d.bad || len(d.b) < n {
+		d.bad = true
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) ids() []radio.NodeID {
+	if !d.bool() {
+		return nil
+	}
+	n := d.u16()
+	if d.bad || len(d.b) < n*8 {
+		d.bad = true
+		return nil
+	}
+	out := make([]radio.NodeID, n)
+	for i := range out {
+		out[i] = d.id()
+	}
+	return out
+}
+
+func (d *dec) nested() any {
+	n := d.u16()
+	if d.bad || len(d.b) < n {
+		d.bad = true
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	sub := d.b[:n]
+	d.b = d.b[n:]
+	msg, err := Decode(sub)
+	if err != nil {
+		d.bad = true
+		return nil
+	}
+	return msg
 }
 
 // Encode renders one wire message body into its binary layout. It returns
@@ -177,8 +288,35 @@ func Encode(msg any) ([]byte, error) {
 		e.u64(m.Seq)
 		e.i(m.Load)
 		e.bool(m.Managing)
+	case netstack.Packet:
+		e.b = make([]byte, 0, 128)
+		e.b = append(e.b, tagPacket)
+		e.id(m.Src)
+		e.id(m.Dst)
+		e.pt(m.DstLoc)
+		e.str(m.Category)
+		e.i(m.Hops)
+		e.i(m.TTL)
+		e.i(int(m.Mode))
+		e.pt(m.EntryLoc)
+		e.pt(m.PrevLoc)
+		e.ids(m.Path)
+		e.nested(m.Payload)
+	case netstack.FloodMsg:
+		e.b = make([]byte, 0, 96)
+		e.b = append(e.b, tagFloodMsg)
+		e.id(m.Origin)
+		e.u64(m.Seq)
+		e.str(m.Category)
+		e.i(m.Hops)
+		e.i(m.TTL)
+		e.ids(m.Relays)
+		e.nested(m.Payload)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", msg)
+	}
+	if e.err != nil {
+		return nil, e.err
 	}
 	return e.b, nil
 }
@@ -223,6 +361,17 @@ func Decode(b []byte) (any, error) {
 		msg = RobotUpdate{
 			Robot: d.id(), Loc: d.pt(), Seq: d.u64(),
 			Load: d.i(), Managing: d.bool(),
+		}
+	case tagPacket:
+		msg = netstack.Packet{
+			Src: d.id(), Dst: d.id(), DstLoc: d.pt(), Category: d.str(),
+			Hops: d.i(), TTL: d.i(), Mode: netstack.RouteMode(d.i()),
+			EntryLoc: d.pt(), PrevLoc: d.pt(), Path: d.ids(), Payload: d.nested(),
+		}
+	case tagFloodMsg:
+		msg = netstack.FloodMsg{
+			Origin: d.id(), Seq: d.u64(), Category: d.str(),
+			Hops: d.i(), TTL: d.i(), Relays: d.ids(), Payload: d.nested(),
 		}
 	default:
 		return nil, fmt.Errorf("wire: unknown message tag %d", b[0])

@@ -76,6 +76,10 @@ type (
 //	burst@T1-T2=P            loss probability P during [T1,T2)
 //	blackout@T1-T2=X,Y,R     radius-R blackout around (X,Y) during [T1,T2)
 //	mgr@T                    central manager crashes at time T
+//	corrupt@T1-T2=P[,mode]   each reception's bytes corrupted with
+//	                         probability P during [T1,T2); mode is one of
+//	                         bitflip, truncate, garbage, duplicate, replay,
+//	                         or mix (the default)
 //
 // An empty spec yields a nil plan (no faults).
 func ParseFaultPlan(spec string) (*FaultPlan, error) { return chaos.Parse(spec) }
