@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-telemetry telemetry-smoke invariant-smoke fuzz-smoke cover figures validate examples clean
+.PHONY: all build test vet race bench bench-json bench-smoke bench-telemetry telemetry-smoke invariant-smoke fuzz-smoke cover figures validate examples clean
 
 all: build vet test
 
@@ -25,11 +25,30 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable benchmark record for the per-PR perf ratchet (see
+# DESIGN.md §12.5): runs the end-to-end throughput bench plus the kernel
+# and radio microbenches, and writes the parsed metrics to BENCH_PR6.json.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$' -benchmem -benchtime 3x . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSchedulerHotLoop|BenchmarkSchedulerChurn' -benchmem ./internal/sim ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkNeighborsDense|BenchmarkMediumBroadcast$$' -benchmem ./internal/radio ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"
+
 # Fast allocation check on the hot-path benchmarks only (seconds, not
 # minutes): scheduler churn, medium broadcast, end-to-end throughput.
+# The ceilings are the perf ratchet — a regression past a previously
+# banked number fails the build.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerChurn|BenchmarkMediumBroadcast$$|BenchmarkMediumUnicast' -benchtime 1000x ./internal/sim ./internal/radio
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput' -benchtime 2x .
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$' -benchmem -benchtime 2x . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSchedulerChurn' -benchmem -benchtime 100000x ./internal/sim ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkNeighborsDense|BenchmarkMediumBroadcast$$' -benchmem -benchtime 10000x ./internal/radio ; } \
+	| $(GO) run ./cmd/benchjson -o /dev/null \
+		-ceiling 'BenchmarkSimulatorThroughput=allocs/op<=279000' \
+		-ceiling 'BenchmarkSchedulerChurn=allocs/op<=0' \
+		-ceiling 'BenchmarkNeighborsDense=allocs/op<=0' \
+		-ceiling 'BenchmarkMediumBroadcast=allocs/op<=0'
 
 # Telemetry overhead check: the same throughput workload with the layer
 # off and on; the enabled run must stay within 10% on sim-s/s.
@@ -59,11 +78,14 @@ invariant-smoke:
 # Native fuzz smoke: 30 s per target over the checked-in seed corpora.
 # The chaos target guards the fault-plan DSL round trip, the wire targets
 # the binary codec's canonical-form property and the frame decoder's
-# never-panic/never-wrongly-accept property under arbitrary mutation.
+# never-panic/never-wrongly-accept property under arbitrary mutation, and
+# the kernel target drives the ladder and heap schedulers through random
+# op sequences asserting identical fire traces.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzChaosParse -fuzztime 30s ./internal/chaos
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzFrameCorrupt -fuzztime 30s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzKernelOps -fuzztime 30s ./internal/sim
 
 # Coverage gate: the simulation kernel, the scenario layer, the
 # invariant checker, and the wire codec (the hostile channel's attack

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: roborepair
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorThroughput 	       2	 314398613 ns/op	      3181 sim-s/s	21906180 B/op	  282108 allocs/op
+BenchmarkSchedulerChurn-8    	 1000000	       151.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	roborepair	0.950s
+`
+
+func parseSample(t *testing.T) *Report {
+	t.Helper()
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	rep := parseSample(t)
+	if rep.GoOS != "linux" || rep.Pkg != "roborepair" {
+		t.Fatalf("header fields: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSimulatorThroughput" || b.Iterations != 2 {
+		t.Fatalf("first bench = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 314398613, "sim-s/s": 3181, "B/op": 21906180, "allocs/op": 282108,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("%s = %g, want %g", unit, got, want)
+		}
+	}
+}
+
+func TestFindToleratesProcsSuffix(t *testing.T) {
+	rep := parseSample(t)
+	if find(rep.Benchmarks, "BenchmarkSchedulerChurn") == nil {
+		t.Fatal("find missed the -8 suffixed benchmark")
+	}
+	if find(rep.Benchmarks, "BenchmarkScheduler") != nil {
+		t.Fatal("find matched a prefix that is not the full name")
+	}
+	if find(rep.Benchmarks, "BenchmarkNope") != nil {
+		t.Fatal("find invented a benchmark")
+	}
+}
+
+func TestCeilingParseAndBreach(t *testing.T) {
+	var cs ceilingList
+	if err := cs.Set("BenchmarkSimulatorThroughput=allocs/op<=279000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Set("garbage"); err == nil {
+		t.Fatal("malformed ceiling accepted")
+	}
+	if cs[0].bench != "BenchmarkSimulatorThroughput" || cs[0].metric != "allocs/op" || cs[0].max != 279000 {
+		t.Fatalf("parsed ceiling = %+v", cs[0])
+	}
+	rep := parseSample(t)
+	b := find(rep.Benchmarks, cs[0].bench)
+	if b == nil {
+		t.Fatal("benchmark not found")
+	}
+	if got := b.Metrics[cs[0].metric]; got <= cs[0].max {
+		t.Fatalf("sample should breach the 279000 ceiling, got %g", got)
+	}
+}

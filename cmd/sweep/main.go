@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -61,6 +62,8 @@ func run(args []string) error {
 	timeseries := fs.String("timeseries", "", "write per-run gauge time series to this CSV file (implies -telemetry)")
 	sampleEvery := fs.Float64("sample-every", 0, "gauge sampling cadence in sim seconds (0 = default 250)")
 	progress := fs.Bool("progress", false, "print live grid progress to stderr")
+	kernel := fs.String("kernel", "", "event-queue kernel: ladder (default) or heap")
+	scale := fs.Int("scale", 1, "multiply sensors-per-robot by this factor, growing the field to keep density (stress runs)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +109,13 @@ func run(args []string) error {
 				cfg.SimTime = *simtime
 				cfg.Seed = seed
 				cfg.Faults = plan
+				cfg.Kernel = *kernel
+				if *scale > 1 {
+					// Same sensor density on a larger field: more nodes,
+					// more events, unchanged per-node physics.
+					cfg.SensorsPerRobot *= *scale
+					cfg.AreaPerRobotSide *= math.Sqrt(float64(*scale))
+				}
 				cfg.Reliability.Enabled = *reliable
 				cfg.Invariants.Enabled = *invariants
 				if *telemetryOn || *timeseries != "" {

@@ -273,7 +273,7 @@ func NewManager(id radio.NodeID, pos geom.Point, txRange float64, medium *radio.
 		Pos:    func() geom.Point { return m.pos },
 		Range:  func() float64 { return m.rng },
 		Medium: medium,
-		Source: netstack.MediumSource{
+		Source: &netstack.MediumSource{
 			Medium: medium,
 			Self:   id,
 			Pos:    func() geom.Point { return m.pos },

@@ -67,6 +67,7 @@ func (m *Manager) FailNow() {
 		return
 	}
 	m.failed = true
+	m.medium.SetActive(m.id, false)
 	if m.ticker != nil {
 		m.ticker.Stop()
 	}

@@ -39,19 +39,26 @@ type MediumSource struct {
 	Self   radio.NodeID
 	Pos    func() geom.Point
 	Range  func() float64
+
+	// entries and out are reusable query buffers: the router consumes the
+	// returned slice before the next hop's query can run, so the per-hop
+	// neighbor lookup is allocation-free in the steady state.
+	entries []radio.RangeEntry
+	out     []Neighbor
 }
 
-// RoutingNeighbors implements NeighborSource.
-func (s MediumSource) RoutingNeighbors() []Neighbor {
-	stations := s.Medium.InRange(s.Pos(), s.Range(), s.Self)
-	out := make([]Neighbor, 0, len(stations))
-	for _, st := range stations {
-		out = append(out, Neighbor{ID: st.RadioID(), Loc: st.RadioPos()})
+// RoutingNeighbors implements NeighborSource. The returned slice is valid
+// until the next call and must not be retained.
+func (s *MediumSource) RoutingNeighbors() []Neighbor {
+	s.entries = s.Medium.AppendInRange(s.entries[:0], s.Pos(), s.Range(), s.Self)
+	s.out = s.out[:0]
+	for _, e := range s.entries {
+		s.out = append(s.out, Neighbor{ID: e.ID, Loc: e.Loc})
 	}
-	return out
+	return s.out
 }
 
-var _ NeighborSource = MediumSource{}
+var _ NeighborSource = (*MediumSource)(nil)
 
 // DropReason classifies why a packet was discarded.
 type DropReason string

@@ -165,6 +165,7 @@ func TestMediumSourceSkipsInactive(t *testing.T) {
 	m := tn.add(1, geom.Pt(0, 0), 250)
 	dead := tn.add(2, geom.Pt(50, 0), 63)
 	dead.dead = true
+	tn.medium.SetActive(2, false)
 	src := MediumSource{
 		Medium: tn.medium,
 		Self:   1,

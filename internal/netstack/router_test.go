@@ -249,7 +249,7 @@ func TestManagerLongFirstHop(t *testing.T) {
 	// one hop where a sensor chain would need several — the Fig 3 effect.
 	tn := newTestNet()
 	mgr := tn.add(1, geom.Pt(0, 0), 250)
-	mgr.router.Source = MediumSource{
+	mgr.router.Source = &MediumSource{
 		Medium: tn.medium,
 		Self:   1,
 		Pos:    func() geom.Point { return mgr.pos },
@@ -282,6 +282,7 @@ func TestDeadRelayIsSkipped(t *testing.T) {
 	tn.add(9, geom.Pt(100, 30), 63)
 	tn.fillTables()
 	tn.nodes[3].dead = true
+	tn.medium.SetActive(3, false)
 	src, dst := tn.nodes[1], tn.nodes[5]
 	src.router.Originate(Packet{Dst: dst.id, DstLoc: dst.pos, Category: "t"})
 	if len(dst.delivered) != 0 {

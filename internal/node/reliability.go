@@ -107,10 +107,16 @@ func (s *Sensor) reportTarget(loc geom.Point) (radio.NodeID, geom.Point) {
 	var bestID radio.NodeID
 	var bestLoc geom.Point
 	bestD := -1.0
-	for id, tr := range s.robots {
+	for id := range s.robots {
+		tr := &s.robots[id]
+		if !tr.known {
+			continue
+		}
 		d := loc.Dist2(tr.loc)
-		if bestD < 0 || d < bestD || (d == bestD && id < bestID) {
-			bestID, bestLoc, bestD = id, tr.loc, d
+		if bestD < 0 || d < bestD {
+			// ID-ascending walk: strict improvement keeps the lowest ID
+			// on ties.
+			bestID, bestLoc, bestD = radio.NodeID(id), tr.loc, d
 		}
 	}
 	if bestD < 0 {
@@ -130,7 +136,7 @@ func (s *Sensor) sendReport(p *pendingReport) {
 		// that accepted it — re-running site affinity here would fan slow
 		// retransmissions across robots as their tables evolve and trigger
 		// duplicate trips. Re-pick only once that robot expires.
-		if tr, ok := s.robots[p.target]; ok {
+		if tr := s.robotAt(p.target); tr != nil {
 			target, targetLoc = p.target, tr.loc
 		}
 	}
@@ -290,16 +296,13 @@ func (s *Sensor) observeRepair(loc geom.Point) {
 // target expired re-targets the closest surviving robot it knows.
 func (s *Sensor) expireRobots(now sim.Time) {
 	deadline := now.Sub(s.cfg.Reliability.RobotExpiry)
-	var stale []radio.NodeID
-	for id, heard := range s.robotHeard {
-		if id != s.manager && heard < deadline {
-			stale = append(stale, id)
+	for i := range s.robots {
+		tr := &s.robots[i]
+		id := radio.NodeID(i)
+		if !tr.known || id == s.manager || tr.heard >= deadline {
+			continue
 		}
-	}
-	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
-	for _, id := range stale {
-		delete(s.robots, id)
-		delete(s.robotHeard, id)
+		*tr = robotTrack{}
 		s.table.Remove(id)
 		if s.target == id {
 			s.target = 0
@@ -315,13 +318,14 @@ func (s *Sensor) expireRobots(now sim.Time) {
 // adoptManager retargets the sensor at a new manager announced by a
 // takeover flood.
 func (s *Sensor) adoptManager(t wire.ManagerTakeover, now sim.Time) {
-	s.manager = t.Manager
-	tr := s.robots[t.Manager] // keep the accepted Seq; takeovers carry none
-	tr.loc = t.Loc
-	s.robots[t.Manager] = tr
-	if s.robotHeard != nil {
-		s.robotHeard[t.Manager] = now
+	if t.Manager < 0 {
+		return // defensive: a slice-indexed track table cannot hold it
 	}
+	s.manager = t.Manager
+	tr := s.robotSlot(t.Manager) // keep the accepted Seq; takeovers carry none
+	tr.loc = t.Loc
+	tr.heard = now
+	tr.known = true
 	if s.pos.Dist(t.Loc) <= s.cfg.Range {
 		s.table.Upsert(t.Manager, t.Loc, now)
 	}

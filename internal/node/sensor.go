@@ -80,14 +80,19 @@ type Hooks struct {
 }
 
 type guardee struct {
+	id        radio.NodeID
 	loc       geom.Point
 	lastHeard sim.Time
 }
 
 // robotTrack is the last accepted state for a known robot or manager.
+// Robot IDs are small and dense, so tracks live in an ID-indexed slice:
+// the per-tick scans walk contiguous memory instead of hashing map keys.
 type robotTrack struct {
-	loc geom.Point
-	seq uint64
+	loc   geom.Point
+	seq   uint64
+	heard sim.Time // last reception (expiry bookkeeping)
+	known bool
 }
 
 // Sensor is one static sensor node.
@@ -109,11 +114,11 @@ type Sensor struct {
 
 	guardian     radio.NodeID // 0 when none
 	lastGuardian sim.Time
-	guardees     map[radio.NodeID]guardee
+	guardees     []guardee // ID-ascending; a sensor guards at most a handful
 
 	target    radio.NodeID // failure report destination
 	targetLoc geom.Point
-	robots    map[radio.NodeID]robotTrack // known robots/managers (never guardians)
+	robots    []robotTrack // known robots/managers by NodeID (never guardians)
 
 	// replayRejected counts robot updates dropped by the StrictSeq guard.
 	replayRejected uint64
@@ -122,7 +127,6 @@ type Sensor struct {
 	reportSeq   uint64
 	pending     map[uint64]*pendingReport // unacked reports by Seq
 	lastFrameAt sim.Time                  // last frame heard at all (deafness detection)
-	robotHeard  map[radio.NodeID]sim.Time // last reception per robot (expiry)
 	manager     radio.NodeID              // current manager, exempt from expiry
 }
 
@@ -131,25 +135,20 @@ var _ radio.Station = (*Sensor)(nil)
 // NewSensor constructs a sensor; call Start to boot it.
 func NewSensor(id radio.NodeID, pos geom.Point, cfg Config, policy Policy, medium *radio.Medium, hooks Hooks) *Sensor {
 	s := &Sensor{
-		id:       id,
-		pos:      pos,
-		cfg:      cfg,
-		policy:   policy,
-		hooks:    hooks,
-		medium:   medium,
-		sched:    medium.Scheduler(),
-		alive:    true,
-		table:    netstack.NewNeighborTable(),
-		flooder:  netstack.NewFlooder(),
-		guardees: make(map[radio.NodeID]guardee),
-		robots:   make(map[radio.NodeID]robotTrack),
-		manager:  cfg.Reliability.Manager,
+		id:      id,
+		pos:     pos,
+		cfg:     cfg,
+		policy:  policy,
+		hooks:   hooks,
+		medium:  medium,
+		sched:   medium.Scheduler(),
+		alive:   true,
+		table:   netstack.NewNeighborTable(),
+		flooder: netstack.NewFlooder(),
+		manager: cfg.Reliability.Manager,
 	}
 	if cfg.Reliability.RetryEnabled() {
 		s.pending = make(map[uint64]*pendingReport)
-	}
-	if cfg.Reliability.RobotExpiry > 0 {
-		s.robotHeard = make(map[radio.NodeID]sim.Time)
 	}
 	s.router = &netstack.Router{
 		ID:      id,
@@ -195,10 +194,52 @@ func (s *Sensor) Guardian() radio.NodeID { return s.guardian }
 // Guardees returns the IDs this sensor currently guards, for tests.
 func (s *Sensor) Guardees() []radio.NodeID {
 	out := make([]radio.NodeID, 0, len(s.guardees))
-	for id := range s.guardees {
-		out = append(out, id)
+	for i := range s.guardees {
+		out = append(out, s.guardees[i].id)
 	}
 	return out
+}
+
+// robotAt returns the track of a known robot, or nil.
+func (s *Sensor) robotAt(id radio.NodeID) *robotTrack {
+	if id < 0 || int(id) >= len(s.robots) || !s.robots[id].known {
+		return nil
+	}
+	return &s.robots[id]
+}
+
+// robotSlot grows the track table as needed and returns id's slot.
+func (s *Sensor) robotSlot(id radio.NodeID) *robotTrack {
+	if int(id) >= len(s.robots) {
+		grown := make([]robotTrack, id+1)
+		copy(grown, s.robots)
+		s.robots = grown
+	}
+	return &s.robots[id]
+}
+
+// guardeeAt returns the index of id in the guardee list, or -1.
+func (s *Sensor) guardeeAt(id radio.NodeID) int {
+	for i := range s.guardees {
+		if s.guardees[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// upsertGuardee inserts or refreshes a guardee, keeping the list
+// ID-ascending so the per-tick liveness scan is reproducible without
+// sorting.
+func (s *Sensor) upsertGuardee(id radio.NodeID, loc geom.Point, now sim.Time) {
+	i := sort.Search(len(s.guardees), func(i int) bool { return s.guardees[i].id >= id })
+	if i < len(s.guardees) && s.guardees[i].id == id {
+		s.guardees[i] = guardee{id: id, loc: loc, lastHeard: now}
+		return
+	}
+	s.guardees = append(s.guardees, guardee{})
+	copy(s.guardees[i+1:], s.guardees[i:])
+	s.guardees[i] = guardee{id: id, loc: loc, lastHeard: now}
 }
 
 // Table exposes the neighbor table (used by tests and diagnostics).
@@ -206,8 +247,10 @@ func (s *Sensor) Table() *netstack.NeighborTable { return s.table }
 
 // KnowsRobot reports the last location the sensor heard for a robot.
 func (s *Sensor) KnowsRobot(id radio.NodeID) (geom.Point, bool) {
-	tr, ok := s.robots[id]
-	return tr.loc, ok
+	if tr := s.robotAt(id); tr != nil {
+		return tr.loc, true
+	}
+	return geom.Point{}, false
 }
 
 // ReplayRejected reports how many robot updates the StrictSeq guard
@@ -215,15 +258,21 @@ func (s *Sensor) KnowsRobot(id radio.NodeID) (geom.Point, bool) {
 func (s *Sensor) ReplayRejected() uint64 { return s.replayRejected }
 
 // ClosestKnownRobot returns the robot closest to this sensor according to
-// the last-heard locations, resolving ties by lowest ID for determinism.
+// the last-heard locations, resolving ties by lowest ID for determinism
+// (the walk is ID-ascending, so a strict improvement test keeps the
+// lowest ID on ties).
 func (s *Sensor) ClosestKnownRobot() (radio.NodeID, geom.Point, bool) {
 	var bestID radio.NodeID
 	var bestLoc geom.Point
 	bestD := -1.0
-	for id, tr := range s.robots {
+	for id := range s.robots {
+		tr := &s.robots[id]
+		if !tr.known {
+			continue
+		}
 		d := s.pos.Dist2(tr.loc)
-		if bestD < 0 || d < bestD || (d == bestD && id < bestID) {
-			bestID, bestLoc, bestD = id, tr.loc, d
+		if bestD < 0 || d < bestD {
+			bestID, bestLoc, bestD = radio.NodeID(id), tr.loc, d
 		}
 	}
 	return bestID, bestLoc, bestD >= 0
@@ -281,6 +330,7 @@ func (s *Sensor) FailNow() {
 		return
 	}
 	s.alive = false
+	s.medium.SetActive(s.id, false)
 	if s.ticker != nil {
 		s.ticker.Stop()
 	}
@@ -305,19 +355,20 @@ func (s *Sensor) tick() {
 
 	deadline := now.Sub(s.cfg.BeaconPeriod * sim.Duration(s.cfg.MissedBeacons))
 
-	// Guardee liveness: a silent guardee has failed — report it. Iterate
-	// in ID order so runs are reproducible.
-	var failed []radio.NodeID
-	for id, g := range s.guardees {
+	// Guardee liveness: a silent guardee has failed — report it. The
+	// guardee list is ID-ascending, so runs are reproducible.
+	var failed []guardee
+	kept := s.guardees[:0]
+	for _, g := range s.guardees {
 		if g.lastHeard < deadline {
-			failed = append(failed, id)
+			failed = append(failed, g)
+		} else {
+			kept = append(kept, g)
 		}
 	}
-	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
-	for _, id := range failed {
-		g := s.guardees[id]
-		delete(s.guardees, id)
-		s.table.Remove(id)
+	s.guardees = kept
+	for _, g := range failed {
+		s.table.Remove(g.id)
 		if s.cfg.Reliability.RetryEnabled() {
 			// Confirmation grace: hold the report for two beacon periods.
 			// A guardee that was merely silenced (a radio blackout lifting
@@ -325,9 +376,9 @@ func (s *Sensor) tick() {
 			// one period and cancels the false report before any traffic;
 			// a real failure is reported 2 periods later — noise against
 			// repair delays.
-			s.reportAfter(id, g.loc, now, 2*s.cfg.BeaconPeriod)
+			s.reportAfter(g.id, g.loc, now, 2*s.cfg.BeaconPeriod)
 		} else {
-			s.report(id, g.loc, now)
+			s.report(g.id, g.loc, now)
 		}
 	}
 
@@ -349,7 +400,7 @@ func (s *Sensor) tick() {
 			if n.LastHeard >= deadline {
 				continue
 			}
-			if _, isRobot := s.robots[n.ID]; !isRobot {
+			if s.robotAt(n.ID) == nil {
 				watch = append(watch, n)
 			}
 		}
@@ -359,7 +410,7 @@ func (s *Sensor) tick() {
 	// Robots are exempt: they beacon on their own schedule (location
 	// updates), and purging them would orphan the last-hop delivery.
 	for _, id := range s.table.Purge(deadline) {
-		if tr, isRobot := s.robots[id]; isRobot {
+		if tr := s.robotAt(id); tr != nil {
 			if s.pos.Dist(tr.loc) <= s.cfg.Range {
 				s.table.Upsert(id, tr.loc, now)
 			}
@@ -381,13 +432,9 @@ func (s *Sensor) selectGuardian() {
 	if !s.alive || s.guardian != 0 {
 		return
 	}
-	except := make(map[radio.NodeID]bool, len(s.robots))
-	for id := range s.robots {
-		except[id] = true
-	}
 	var chosen *netstack.Neighbor
 	for _, n := range s.table.All() {
-		if except[n.ID] || !s.policy.GuardianOK(s.pos, n.Loc) {
+		if s.robotAt(n.ID) != nil || !s.policy.GuardianOK(s.pos, n.Loc) {
 			continue
 		}
 		if chosen == nil || n.Loc.Dist2(s.pos) < chosen.Loc.Dist2(s.pos) {
@@ -476,7 +523,7 @@ func (s *Sensor) HandleFrame(f radio.Frame) {
 			})
 		}
 	case wire.GuardianConfirm:
-		s.guardees[m.From] = guardee{loc: m.Loc, lastHeard: now}
+		s.upsertGuardee(m.From, m.Loc, now)
 		s.hearNeighbor(m.From, m.Loc, now)
 	case wire.RobotUpdate:
 		// One-hop robot announce (centralized location update).
@@ -495,9 +542,8 @@ func (s *Sensor) hearNeighbor(from radio.NodeID, loc geom.Point, now sim.Time) {
 		// Only bidirectionally reachable peers are usable next hops.
 		s.table.Upsert(from, loc, now)
 	}
-	if g, ok := s.guardees[from]; ok {
-		g.lastHeard = now
-		s.guardees[from] = g
+	if i := s.guardeeAt(from); i >= 0 {
+		s.guardees[i].lastHeard = now
 	}
 	if from == s.guardian {
 		s.lastGuardian = now
@@ -506,16 +552,17 @@ func (s *Sensor) hearNeighbor(from radio.NodeID, loc geom.Point, now sim.Time) {
 
 // noteRobot records a robot's position and refreshes target/table state.
 func (s *Sensor) noteRobot(up wire.RobotUpdate, now sim.Time) {
-	if tr, known := s.robots[up.Robot]; s.cfg.StrictSeq && known && up.Seq < tr.seq {
+	if up.Robot < 0 {
+		return // defensive: a slice-indexed track table cannot hold it
+	}
+	tr := s.robotSlot(up.Robot)
+	if s.cfg.StrictSeq && tr.known && up.Seq < tr.seq {
 		// Hostile channel: a replayed update would roll the robot's
 		// position back. Equal Seq is an idempotent duplicate and passes.
 		s.replayRejected++
 		return
 	}
-	s.robots[up.Robot] = robotTrack{loc: up.Loc, seq: up.Seq}
-	if s.robotHeard != nil {
-		s.robotHeard[up.Robot] = now
-	}
+	*tr = robotTrack{loc: up.Loc, seq: up.Seq, heard: now, known: true}
 	if s.pos.Dist(up.Loc) <= s.cfg.Range {
 		s.table.Upsert(up.Robot, up.Loc, now)
 	} else {

@@ -131,8 +131,8 @@ func (m *Medium) tryTransmit(f Frame, enc []byte, pos sendSnapshot, frameID uint
 		// The frame is audible at every active station in range,
 		// regardless of addressing — that is what causes collisions.
 		audible := m.neighbors(pos.pos, pos.rng, f.Src)
-		for _, st := range audible {
-			m.air.mark(st.RadioID(), reception{frame: frameID, start: start, end: end})
+		for _, n := range audible {
+			m.air.mark(n.id, reception{frame: frameID, start: start, end: end})
 		}
 		m.recycle(audible)
 		// The sender itself hears its own transmission (for carrier
@@ -149,33 +149,33 @@ func (m *Medium) deliverContended(f Frame, enc []byte, frameID uint64, start, en
 		m.reg.CountTx(CatBlackout, 1)
 		return
 	}
-	deliverTo := func(st Station) {
-		if m.air.collided(st.RadioID(), frameID, start, end) {
+	deliverTo := func(n neighbor) {
+		if m.air.collided(n.id, frameID, start, end) {
 			m.collisionCt.Add(1)
 			return
 		}
-		if m.silenced(st.RadioPos()) {
+		if m.silenced(m.posOf(n.id)) {
 			return
 		}
-		if m.lost(f, st.RadioID()) {
+		if m.lost(f, n.id) {
 			return
 		}
-		m.handoff(f, enc, pos.pos, pos.rng, st)
+		m.handoff(f, enc, pos.pos, pos.rng, n.st)
 	}
 	if f.Dst != IDBroadcast {
-		dst, ok := m.stations[f.Dst]
-		if !ok || !dst.RadioActive() {
+		dst := m.station(f.Dst)
+		if dst == nil || !m.active[f.Dst] {
 			return
 		}
-		if pos.pos.Dist2(dst.RadioPos()) > pos.rng*pos.rng {
+		if pos.pos.Dist2(m.posOf(f.Dst)) > pos.rng*pos.rng {
 			return
 		}
-		deliverTo(dst)
+		deliverTo(neighbor{id: f.Dst, st: dst})
 		return
 	}
 	buf := m.neighbors(pos.pos, pos.rng, f.Src)
-	for _, st := range buf {
-		deliverTo(st)
+	for _, n := range buf {
+		deliverTo(n)
 	}
 	m.recycle(buf)
 }

@@ -1,0 +1,168 @@
+package radio
+
+import (
+	"testing"
+
+	"roborepair/internal/geom"
+)
+
+// gridRNG is a tiny deterministic generator for the scale test: math/rand
+// sequences are not stable across Go releases, and this test's churn
+// schedule must be reproducible.
+type gridRNG uint64
+
+func (r *gridRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = gridRNG(x)
+	return x
+}
+
+func (r *gridRNG) float() float64 { return float64(r.next()%1_000_000) / 1_000_000 }
+
+// TestGridIndexScaleChurn drives the spatial index with 100k stations
+// through attach / move / deactivate / detach churn and checks sampled
+// range queries against a brute-force oracle. This is the scale the
+// megafield example runs at; the paper-sized tests never push the grid
+// past a few hundred cells, so index bookkeeping bugs (stale cell
+// membership after a boundary crossing, resurrecting detached IDs) would
+// otherwise only surface as wrong simulation results.
+func TestGridIndexScaleChurn(t *testing.T) {
+	const (
+		n      = 100_000
+		side   = 6300.0 // 100x100 cells at the sensor range
+		radius = 63.0
+	)
+	m, _, _ := newTestMedium(Config{CellSize: radius})
+
+	// Ground-truth mirror of the medium's state.
+	stations := make([]*fakeStation, n+1)
+	attached := make([]bool, n+1)
+	rng := gridRNG(0x9E3779B97F4A7C15)
+	for id := 1; id <= n; id++ {
+		s := &fakeStation{
+			id:  NodeID(id),
+			pos: geom.Pt(rng.float()*side, rng.float()*side),
+			rng: radius,
+		}
+		stations[id] = s
+		m.Attach(s)
+		attached[id] = true
+	}
+
+	oracle := func(p geom.Point, exclude NodeID) []NodeID {
+		var ids []NodeID
+		for id := 1; id <= n; id++ {
+			s := stations[id]
+			if !attached[id] || s.inactive || NodeID(id) == exclude {
+				continue
+			}
+			if p.Dist2(s.pos) <= radius*radius {
+				ids = append(ids, NodeID(id))
+			}
+		}
+		return ids
+	}
+
+	check := func(round int) {
+		t.Helper()
+		for q := 0; q < 8; q++ {
+			p := geom.Pt(rng.float()*side, rng.float()*side)
+			want := oracle(p, 0)
+			got := m.AppendInRange(nil, p, radius, 0)
+			if len(got) != len(want) {
+				t.Fatalf("round %d query %v: got %d stations, oracle says %d",
+					round, p, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i] {
+					t.Fatalf("round %d query %v entry %d: got ID %d, want %d (order or membership)",
+						round, p, i, got[i].ID, want[i])
+				}
+				if got[i].Loc != stations[got[i].ID].pos {
+					t.Fatalf("round %d query %v: stale cached position for %d",
+						round, p, got[i].ID)
+				}
+			}
+		}
+	}
+
+	check(0)
+	const rounds = 12
+	for round := 1; round <= rounds; round++ {
+		for op := 0; op < 20_000; op++ {
+			id := NodeID(rng.next()%n + 1)
+			s := stations[id]
+			switch rng.next() % 8 {
+			case 0, 1, 2, 3: // move — half the time across a cell boundary
+				if !attached[id] {
+					continue
+				}
+				old := s.pos
+				if rng.next()%2 == 0 {
+					s.pos = geom.Pt(rng.float()*side, rng.float()*side)
+				} else {
+					s.pos = geom.Pt(old.X+rng.float()*10-5, old.Y+rng.float()*10-5)
+				}
+				m.Moved(id, old)
+			case 4, 5: // toggle activity
+				if !attached[id] {
+					continue
+				}
+				s.inactive = !s.inactive
+				m.SetActive(id, !s.inactive)
+			case 6: // detach
+				if !attached[id] {
+					continue
+				}
+				m.Detach(id)
+				attached[id] = false
+			case 7: // (re-)attach at a fresh position
+				s.pos = geom.Pt(rng.float()*side, rng.float()*side)
+				m.Attach(s)
+				attached[id] = true
+			}
+		}
+		check(round)
+	}
+
+	wantLen := 0
+	for id := 1; id <= n; id++ {
+		if attached[id] {
+			wantLen++
+		}
+	}
+	if m.Len() != wantLen {
+		t.Fatalf("medium Len = %d, oracle says %d attached", m.Len(), wantLen)
+	}
+}
+
+// TestAppendInRangeMatchesInRange pins the two query APIs to each other:
+// same membership, same ID order, entry positions matching the stations.
+func TestAppendInRangeMatchesInRange(t *testing.T) {
+	m, _, _ := newTestMedium(Config{CellSize: 63})
+	rng := gridRNG(42)
+	for id := 1; id <= 500; id++ {
+		m.Attach(&fakeStation{
+			id:  NodeID(id),
+			pos: geom.Pt(rng.float()*400, rng.float()*400),
+			rng: 63,
+		})
+	}
+	for q := 0; q < 50; q++ {
+		p := geom.Pt(rng.float()*400, rng.float()*400)
+		sts := m.InRange(p, 63, 3)
+		ents := m.AppendInRange(nil, p, 63, 3)
+		if len(sts) != len(ents) {
+			t.Fatalf("query %v: InRange %d vs AppendInRange %d", p, len(sts), len(ents))
+		}
+		for i := range sts {
+			if sts[i].RadioID() != ents[i].ID || sts[i].RadioPos() != ents[i].Loc {
+				t.Fatalf("query %v entry %d: %v/%v vs %v",
+					p, i, sts[i].RadioID(), sts[i].RadioPos(), ents[i])
+			}
+		}
+	}
+}

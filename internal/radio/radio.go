@@ -11,8 +11,10 @@
 package radio
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 
 	"roborepair/internal/geom"
 	"roborepair/internal/metrics"
@@ -56,6 +58,19 @@ type Station interface {
 	RadioActive() bool
 	// HandleFrame delivers a received frame.
 	HandleFrame(f Frame)
+}
+
+// MobileStation marks a station whose position changes continuously
+// between Moved notifications — robots interpolate along their travel
+// legs, so only a live RadioPos call yields the exact position. The
+// medium re-polls RadioPos on every query for a station reporting
+// RadioMobile; for everything else it uses the position cached at Attach
+// and refreshed at Moved, which keeps broadcasts from paying an interface
+// call per candidate.
+type MobileStation interface {
+	Station
+	// RadioMobile reports whether the station moves between Moved calls.
+	RadioMobile() bool
 }
 
 // Auditor observes the medium's transmissions and deliveries for
@@ -181,18 +196,30 @@ type Config struct {
 
 // Medium is the shared wireless channel. It is single-threaded, driven by
 // the simulation scheduler.
+//
+// Per-station hot state lives in ID-indexed slices (struct-of-arrays):
+// node IDs are small dense integers assigned by the world builder, so a
+// slice index replaces a map lookup on every candidate the broadcast path
+// touches. The cached position and activity are authoritative for
+// everything except mobile stations' positions (see MobileStation);
+// stations that change activity while attached must call SetActive.
 type Medium struct {
 	sched    *sim.Scheduler
 	reg      *metrics.Registry
 	cfg      Config
-	stations map[NodeID]Station
+	stations []Station // indexed by NodeID; nil when not attached
+	pos      []geom.Point
+	active   []bool
+	mobile   []bool
+	cell     []cellKey // authoritative grid membership
+	count    int
 	grid     map[cellKey][]NodeID
 	air      *air
 	frameSeq uint64
 	// scratch is the reusable neighbor buffer for broadcast delivery; it
-	// keeps the per-Send []Station allocation off the hot path. Borrow it
+	// keeps the per-Send slice allocation off the hot path. Borrow it
 	// with neighbors() and hand it back with recycle().
-	scratch []Station
+	scratch []neighbor
 	// collisionCt is the pre-resolved handle for the contention model's
 	// per-reception collision accounting.
 	collisionCt *metrics.Counter
@@ -236,7 +263,6 @@ func NewMedium(sched *sim.Scheduler, reg *metrics.Registry, cfg Config) (*Medium
 		sched:       sched,
 		reg:         reg,
 		cfg:         cfg,
-		stations:    make(map[NodeID]Station),
 		grid:        make(map[cellKey][]NodeID),
 		air:         newAir(),
 		collisionCt: reg.Counter(CatCollision),
@@ -265,62 +291,117 @@ func (m *Medium) SetAuditor(a Auditor) { m.audit = a }
 // is the sender's view (the received bytes failed to decode).
 func (m *Medium) SetChannelDropHook(hook func(f Frame)) { m.channelDrop = hook }
 
-// Attach registers a station at its current position. Attaching an ID that
-// is already present replaces the previous station.
-func (m *Medium) Attach(s Station) {
-	if old, ok := m.stations[s.RadioID()]; ok {
-		m.removeFromGrid(old.RadioID(), old.RadioPos())
+// ensureID grows the per-station state arrays to cover id.
+func (m *Medium) ensureID(id NodeID) {
+	need := int(id) + 1
+	if need <= len(m.stations) {
+		return
 	}
-	m.stations[s.RadioID()] = s
-	m.addToGrid(s.RadioID(), s.RadioPos())
+	for len(m.stations) < need {
+		m.stations = append(m.stations, nil)
+		m.pos = append(m.pos, geom.Point{})
+		m.active = append(m.active, false)
+		m.mobile = append(m.mobile, false)
+		m.cell = append(m.cell, cellKey{})
+	}
+}
+
+// station returns the attached station with the given ID, or nil.
+func (m *Medium) station(id NodeID) Station {
+	if id < 0 || int(id) >= len(m.stations) {
+		return nil
+	}
+	return m.stations[id]
+}
+
+// posOf returns a station's exact current position: the live RadioPos for
+// mobile stations, the cached position for everything else.
+func (m *Medium) posOf(id NodeID) geom.Point {
+	if m.mobile[id] {
+		return m.stations[id].RadioPos()
+	}
+	return m.pos[id]
+}
+
+// Attach registers a station at its current position. Attaching an ID that
+// is already present replaces the previous station. IDs must be
+// non-negative (the world builder assigns small dense integers).
+func (m *Medium) Attach(s Station) {
+	id := s.RadioID()
+	if id < 0 {
+		return
+	}
+	m.ensureID(id)
+	if m.stations[id] != nil {
+		m.removeFromGridAt(id, m.cell[id])
+		m.count--
+	}
+	m.stations[id] = s
+	ms, ok := s.(MobileStation)
+	m.mobile[id] = ok && ms.RadioMobile()
+	p := s.RadioPos()
+	m.pos[id] = p
+	m.active[id] = s.RadioActive()
+	k := m.keyOf(p)
+	m.cell[id] = k
+	m.grid[k] = append(m.grid[k], id)
+	m.count++
 }
 
 // Detach removes a station from the medium entirely.
 func (m *Medium) Detach(id NodeID) {
-	s, ok := m.stations[id]
-	if !ok {
+	if m.station(id) == nil {
 		return
 	}
-	m.removeFromGrid(id, s.RadioPos())
-	delete(m.stations, id)
+	m.removeFromGridAt(id, m.cell[id])
+	m.stations[id] = nil
+	m.active[id] = false
+	m.mobile[id] = false
+	m.count--
+}
+
+// SetActive updates the medium's activity cache for an attached station.
+// Stations whose RadioActive answer changes while attached (sensor death,
+// robot breakdown) must call this; the delivery paths consult only the
+// cache.
+func (m *Medium) SetActive(id NodeID, active bool) {
+	if m.station(id) != nil {
+		m.active[id] = active
+	}
 }
 
 // Moved must be called after a station's position changes so the spatial
-// index stays consistent.
+// index stays consistent. The old position is no longer needed — the
+// medium tracks grid membership itself — but the parameter is kept so
+// call sites read naturally.
 func (m *Medium) Moved(id NodeID, oldPos geom.Point) {
-	s, ok := m.stations[id]
-	if !ok {
+	_ = oldPos
+	s := m.station(id)
+	if s == nil {
 		return
 	}
-	oldKey := m.keyOf(oldPos)
-	newKey := m.keyOf(s.RadioPos())
-	if oldKey == newKey {
+	p := s.RadioPos()
+	m.pos[id] = p
+	newKey := m.keyOf(p)
+	if newKey == m.cell[id] {
 		return
 	}
-	m.removeFromGridAt(id, oldKey)
-	m.addToGrid(id, s.RadioPos())
+	m.removeFromGridAt(id, m.cell[id])
+	m.cell[id] = newKey
+	m.grid[newKey] = append(m.grid[newKey], id)
 }
 
 // Station returns the attached station with the given ID, or nil.
-func (m *Medium) Station(id NodeID) Station { return m.stations[id] }
+func (m *Medium) Station(id NodeID) Station { return m.station(id) }
 
 // Len reports the number of attached stations.
-func (m *Medium) Len() int { return len(m.stations) }
+func (m *Medium) Len() int { return m.count }
 
 func (m *Medium) keyOf(p geom.Point) cellKey {
 	return cellKey{
 		cx: int(math.Floor(p.X / m.cfg.CellSize)),
 		cy: int(math.Floor(p.Y / m.cfg.CellSize)),
 	}
-}
-
-func (m *Medium) addToGrid(id NodeID, p geom.Point) {
-	k := m.keyOf(p)
-	m.grid[k] = append(m.grid[k], id)
-}
-
-func (m *Medium) removeFromGrid(id NodeID, p geom.Point) {
-	m.removeFromGridAt(id, m.keyOf(p))
 }
 
 func (m *Medium) removeFromGridAt(id NodeID, k cellKey) {
@@ -334,6 +415,13 @@ func (m *Medium) removeFromGridAt(id NodeID, k cellKey) {
 	}
 }
 
+// neighbor pairs a candidate's ID with its station for delivery, so the
+// per-receiver loops never go back through a lookup.
+type neighbor struct {
+	id NodeID
+	st Station
+}
+
 // InRange returns the active stations strictly within radius of p,
 // excluding the station with ID exclude. Results are in deterministic
 // (ID-sorted) order. The returned slice is freshly allocated; internal
@@ -342,13 +430,30 @@ func (m *Medium) InRange(p geom.Point, radius float64, exclude NodeID) []Station
 	if radius <= 0 {
 		return nil
 	}
-	return m.inRangeAppend(nil, p, radius, exclude)
+	ns := m.inRangeAppend(nil, p, radius, exclude)
+	if ns == nil {
+		return nil
+	}
+	out := make([]Station, len(ns))
+	for i, n := range ns {
+		out[i] = n.st
+	}
+	return out
 }
 
-// inRangeAppend appends the active stations strictly within radius of p
+// RangeEntry is one result of an in-range query: the station's ID and its
+// current position, with no station reference — callers that only route by
+// geometry avoid the interface loads entirely.
+type RangeEntry struct {
+	ID  NodeID
+	Loc geom.Point
+}
+
+// AppendInRange appends the active stations strictly within radius of p
 // (excluding exclude) to dst in ID-sorted order and returns the extended
-// slice.
-func (m *Medium) inRangeAppend(dst []Station, p geom.Point, radius float64, exclude NodeID) []Station {
+// slice. Reusing dst across calls keeps the per-hop routing query
+// allocation-free in the steady state.
+func (m *Medium) AppendInRange(dst []RangeEntry, p geom.Point, radius float64, exclude NodeID) []RangeEntry {
 	if radius <= 0 {
 		return dst
 	}
@@ -359,20 +464,53 @@ func (m *Medium) inRangeAppend(dst []Station, p geom.Point, radius float64, excl
 	for cx := lo.cx; cx <= hi.cx; cx++ {
 		for cy := lo.cy; cy <= hi.cy; cy++ {
 			for _, id := range m.grid[cellKey{cx, cy}] {
-				if id == exclude {
+				if id == exclude || !m.active[id] {
 					continue
 				}
-				s := m.stations[id]
-				if s == nil || !s.RadioActive() {
-					continue
+				q := m.pos[id]
+				if m.mobile[id] {
+					q = m.stations[id].RadioPos()
 				}
-				if p.Dist2(s.RadioPos()) <= r2 {
-					dst = append(dst, s)
+				if p.Dist2(q) <= r2 {
+					dst = append(dst, RangeEntry{ID: id, Loc: q})
 				}
 			}
 		}
 	}
-	sortStations(dst[base:])
+	sortRangeEntries(dst[base:])
+	return dst
+}
+
+// inRangeAppend appends the active stations strictly within radius of p
+// (excluding exclude) to dst in ID-sorted order and returns the extended
+// slice. Candidates resolve through the SoA caches: one bounds-checked
+// slice load each for activity and position, no interface calls except for
+// mobile stations.
+func (m *Medium) inRangeAppend(dst []neighbor, p geom.Point, radius float64, exclude NodeID) []neighbor {
+	if radius <= 0 {
+		return dst
+	}
+	base := len(dst)
+	r2 := radius * radius
+	lo := m.keyOf(geom.Pt(p.X-radius, p.Y-radius))
+	hi := m.keyOf(geom.Pt(p.X+radius, p.Y+radius))
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for _, id := range m.grid[cellKey{cx, cy}] {
+				if id == exclude || !m.active[id] {
+					continue
+				}
+				q := m.pos[id]
+				if m.mobile[id] {
+					q = m.stations[id].RadioPos()
+				}
+				if p.Dist2(q) <= r2 {
+					dst = append(dst, neighbor{id: id, st: m.stations[id]})
+				}
+			}
+		}
+	}
+	sortNeighbors(dst[base:])
 	return dst
 }
 
@@ -381,7 +519,7 @@ func (m *Medium) inRangeAppend(dst []Station, p geom.Point, radius float64, excl
 // recycle; taking ownership (nilling m.scratch) keeps reentrant Sends —
 // flood relays retransmit synchronously from HandleFrame — from clobbering
 // the buffer mid-iteration.
-func (m *Medium) neighbors(p geom.Point, radius float64, exclude NodeID) []Station {
+func (m *Medium) neighbors(p geom.Point, radius float64, exclude NodeID) []neighbor {
 	buf := m.scratch[:0]
 	m.scratch = nil
 	return m.inRangeAppend(buf, p, radius, exclude)
@@ -390,21 +528,42 @@ func (m *Medium) neighbors(p geom.Point, radius float64, exclude NodeID) []Stati
 // recycle returns a neighbors buffer for reuse, dropping station
 // references so detached stations are not pinned. When reentrant delivery
 // installed its own (smaller) buffer meanwhile, the larger one wins.
-func (m *Medium) recycle(buf []Station) {
+func (m *Medium) recycle(buf []neighbor) {
 	for i := range buf {
-		buf[i] = nil
+		buf[i] = neighbor{}
 	}
 	if cap(buf) > cap(m.scratch) {
 		m.scratch = buf[:0]
 	}
 }
 
-func sortStations(ss []Station) {
-	// Insertion sort: neighbor lists are short (tens of entries) and this
-	// avoids the sort.Slice closure allocation on the hottest path.
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j].RadioID() < ss[j-1].RadioID(); j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
+// sortCutover is the neighbor count above which sortNeighbors switches
+// from insertion sort to slices.SortFunc: past a few dozen entries the
+// quadratic cost of insertion sort overtakes pdqsort's overhead.
+const sortCutover = 24
+
+func sortNeighbors(ns []neighbor) {
+	if len(ns) > sortCutover {
+		slices.SortFunc(ns, func(a, b neighbor) int { return cmp.Compare(a.id, b.id) })
+		return
+	}
+	// Insertion sort: typical neighbor lists are short, and this avoids
+	// any sort-machinery overhead on the hottest path.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].id < ns[j-1].id; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func sortRangeEntries(ns []RangeEntry) {
+	if len(ns) > sortCutover {
+		slices.SortFunc(ns, func(a, b RangeEntry) int { return cmp.Compare(a.ID, b.ID) })
+		return
+	}
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].ID < ns[j-1].ID; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
 		}
 	}
 }
@@ -414,8 +573,8 @@ func sortStations(ss []Station) {
 // single wireless transmission reaches all neighbors). Inactive or
 // detached senders transmit nothing.
 func (m *Medium) Send(f Frame) {
-	src, ok := m.stations[f.Src]
-	if !ok || !src.RadioActive() {
+	src := m.station(f.Src)
+	if src == nil || !m.active[f.Src] {
 		return
 	}
 	m.reg.CountTx(f.Category, 1)
@@ -434,15 +593,15 @@ func (m *Medium) Send(f Frame) {
 		}
 		enc = b
 	}
+	pos, rng := m.posOf(f.Src), src.RadioRange()
 	if m.cfg.Contention.Enabled() {
-		m.sendContended(f, enc, sendSnapshot{pos: src.RadioPos(), rng: src.RadioRange()})
+		m.sendContended(f, enc, sendSnapshot{pos: pos, rng: rng})
 		return
 	}
 	if m.cfg.Latency <= 0 {
-		m.deliver(f, enc, src.RadioPos(), src.RadioRange())
+		m.deliver(f, enc, pos, rng)
 		return
 	}
-	pos, rng := src.RadioPos(), src.RadioRange()
 	m.sched.After(m.cfg.Latency, func() { m.deliver(f, enc, pos, rng) })
 }
 
@@ -475,14 +634,15 @@ func (m *Medium) deliver(f Frame, enc []byte, from geom.Point, rng float64) {
 		return
 	}
 	if f.Dst != IDBroadcast {
-		dst, ok := m.stations[f.Dst]
-		if !ok || !dst.RadioActive() {
+		dst := m.station(f.Dst)
+		if dst == nil || !m.active[f.Dst] {
 			return
 		}
-		if from.Dist2(dst.RadioPos()) > rng*rng {
+		dp := m.posOf(f.Dst)
+		if from.Dist2(dp) > rng*rng {
 			return
 		}
-		if m.silenced(dst.RadioPos()) {
+		if m.silenced(dp) {
 			return
 		}
 		if m.lost(f, f.Dst) {
@@ -492,14 +652,15 @@ func (m *Medium) deliver(f Frame, enc []byte, from geom.Point, rng float64) {
 		return
 	}
 	buf := m.neighbors(from, rng, f.Src)
-	for _, s := range buf {
-		if m.silenced(s.RadioPos()) {
+	checkOutage := m.cfg.Outage != nil
+	for _, n := range buf {
+		if checkOutage && m.cfg.Outage.Silenced(m.posOf(n.id)) {
 			continue
 		}
-		if m.lost(f, s.RadioID()) {
+		if m.lost(f, n.id) {
 			continue
 		}
-		m.handoff(f, enc, from, rng, s)
+		m.handoff(f, enc, from, rng, n.st)
 	}
 	m.recycle(buf)
 }

@@ -45,6 +45,28 @@ func BenchmarkMediumBroadcast(b *testing.B) {
 	}
 }
 
+// BenchmarkNeighborsDense measures a broadcast in a pathologically dense
+// cell: 256 stations all within range of the sender, an order of magnitude
+// past the sortCutover, so the neighbor sort runs through slices.SortFunc
+// instead of the short-list insertion sort. Steady state must still be
+// allocation-free.
+func BenchmarkNeighborsDense(b *testing.B) {
+	m, _, _ := newTestMedium(Config{CellSize: 63})
+	const n = 256
+	for i := 0; i < n; i++ {
+		// A tight 16x16 cluster, 3 m pitch: every station hears every send.
+		x := float64(i%16) * 3
+		y := float64(i/16) * 3
+		m.Attach(&benchStation{id: NodeID(i + 1), pos: geom.Pt(x, y), rng: 63})
+	}
+	f := Frame{Src: 1, Dst: IDBroadcast, Category: metrics.CatBeacon}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(f)
+	}
+}
+
 // BenchmarkMediumUnicast is the point-to-point counterpart: one map
 // lookup, one range check, one delivery.
 func BenchmarkMediumUnicast(b *testing.B) {

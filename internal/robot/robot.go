@@ -188,7 +188,7 @@ func New(id radio.NodeID, pos geom.Point, cfg Config, mode UpdateMode, medium *r
 		Pos:    r.Pos,
 		Range:  func() float64 { return r.cfg.Range },
 		Medium: medium,
-		Source: netstack.MediumSource{
+		Source: &netstack.MediumSource{
 			Medium: medium,
 			Self:   id,
 			Pos:    r.Pos,
@@ -257,6 +257,11 @@ func (r *Robot) RadioRange() float64 { return r.cfg.Range }
 // model; the resilience extension can kill them via FailNow.
 func (r *Robot) RadioActive() bool { return !r.failed }
 
+// RadioMobile implements radio.MobileStation: a robot's position
+// interpolates along its travel leg between index updates, so the medium
+// must poll RadioPos rather than trust its cached position.
+func (r *Robot) RadioMobile() bool { return true }
+
 // Alive reports whether the robot is operational.
 func (r *Robot) Alive() bool { return !r.failed }
 
@@ -282,6 +287,7 @@ func (r *Robot) FailNow() {
 	r.current = nil
 	r.queue = nil
 	r.failed = true
+	r.medium.SetActive(r.id, false)
 	r.stranded = stranded
 	if len(stranded) > 0 {
 		r.medium.Metrics().Observe(metrics.SeriesStrandedTasks, float64(len(stranded)))

@@ -129,6 +129,11 @@ type Config struct {
 	// layer entirely and reproduces the unchecked simulator's behavior and
 	// allocations bit-for-bit.
 	Invariants invariant.Config `json:"invariants,omitempty"`
+	// Kernel selects the event-queue implementation: "" or "ladder" for
+	// the default ladder queue, "heap" for the binary heap it replaced.
+	// The two produce bit-identical runs (see DESIGN.md §12); the switch
+	// exists for differential testing and perf comparison.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // ReliabilityConfig tunes the repair-reliability protocol. All durations
@@ -233,6 +238,9 @@ func (c Config) Validate() error {
 	case c.Reliability.ReportRetryS < 0 || c.Reliability.HeartbeatS < 0 ||
 		c.Reliability.DispatchAckTimeoutS < 0:
 		return fmt.Errorf("scenario: reliability durations must be non-negative")
+	}
+	if _, err := sim.ParseKernel(c.Kernel); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	if err := c.Faults.Validate(c.Robots); err != nil {
 		return fmt.Errorf("scenario: %w", err)

@@ -86,7 +86,11 @@ func New(cfg Config) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sched := sim.NewScheduler()
+	kernel, err := sim.ParseKernel(cfg.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sched := sim.NewSchedulerKernel(kernel)
 	reg := metrics.NewRegistry()
 	// The fault plan's loss bursts and blackouts wrap the base loss model;
 	// the burst draws come from their own stream so an (in)active burst

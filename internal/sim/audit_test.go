@@ -59,14 +59,15 @@ func TestAuditCleanKernel(t *testing.T) {
 // free list's generation counters exist to survive) is reported once the
 // audit is installed, and the corrupting second append is suppressed.
 func TestAuditDoubleFree(t *testing.T) {
-	s := NewScheduler()
+	s := NewSchedulerKernel(KernelHeap)
 	var a recordingAudit
 	a.install(s)
 	ev, err := s.At(5, func() {})
 	if err != nil {
 		t.Fatal(err)
 	}
-	heap.Remove(&s.queue, ev.e.index)
+	hk := s.k.(*heapKernel)
+	heap.Remove(&hk.q, ev.e.index)
 	s.release(ev.e)
 	free := len(s.free)
 	s.release(ev.e) // the bug
@@ -108,7 +109,7 @@ func TestAuditClockMonotone(t *testing.T) {
 	ev := s.alloc()
 	ev.at, ev.seq, ev.fn = 3, s.seq, func() {}
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.k.push(ev)
 	s.Step()
 	if !a.has("sim/clock-monotone") {
 		t.Fatalf("clock regression not reported; laws: %v", a.laws)
@@ -121,7 +122,7 @@ func TestAuditClockMonotone(t *testing.T) {
 // TestAuditCancelIntegrity: a handle whose heap index no longer points at
 // its own storage is refused and reported instead of corrupting the heap.
 func TestAuditCancelIntegrity(t *testing.T) {
-	s := NewScheduler()
+	s := NewSchedulerKernel(KernelHeap)
 	var a recordingAudit
 	a.install(s)
 	ev, err := s.At(5, func() {})

@@ -5,6 +5,12 @@
 // fire in scheduling order, which makes every run with the same inputs fully
 // reproducible. All simulated subsystems (radio medium, sensor beaconing,
 // robot motion, coordination algorithms) are driven from a single Scheduler.
+//
+// Two interchangeable queue kernels implement the same (at, seq) total
+// order: the default ladder queue (amortized O(1) per operation, built for
+// million-node fields) and the legacy binary heap (kept for differential
+// testing). Because the order is a strict total order — seq is unique per
+// event — every run is bit-identical under either kernel.
 package sim
 
 import (
@@ -58,8 +64,9 @@ type event struct {
 	at    Time
 	seq   uint64
 	gen   uint32
-	index int // heap index, -1 when not queued
+	index int // heap index, -1 when not queued (ladder events use 0)
 	freed bool
+	dead  bool // lazily cancelled, awaiting physical removal (ladder)
 	fn    func()
 }
 
@@ -103,41 +110,160 @@ func (ev Event) Scheduled() bool {
 	return ev.e != nil && ev.gen == ev.e.gen && ev.e.index >= 0
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// kernel is the pluggable priority-queue core behind a Scheduler. Both
+// implementations honor the same strict (at, seq) total order, so the fire
+// sequence — and therefore the whole simulation — is identical under
+// either. pop and peek return nil when no live event remains; cancel owns
+// the full cancellation bookkeeping for its representation.
+type kernel interface {
+	push(*event)
+	pop() *event
+	peek() *event
+	cancel(*event) bool
+	len() int
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Kernel selects a Scheduler's priority-queue implementation.
+type Kernel int
+
+const (
+	// KernelLadder is the default ladder queue: time-bucketed rungs with a
+	// sorted bottom run, amortized O(1) per operation.
+	KernelLadder Kernel = iota
+	// KernelHeap is the legacy container/heap binary heap, O(log n) per
+	// operation. Kept for differential testing against the ladder.
+	KernelHeap
+)
+
+// String names the kernel ("ladder" or "heap").
+func (k Kernel) String() string {
+	switch k {
+	case KernelHeap:
+		return "heap"
+	default:
+		return "ladder"
+	}
+}
+
+// ParseKernel converts "ladder" or "heap" (or "", meaning the default)
+// into a Kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "ladder":
+		return KernelLadder, nil
+	case "heap":
+		return KernelHeap, nil
+	}
+	return KernelLadder, fmt.Errorf("sim: unknown kernel %q (want ladder or heap)", s)
+}
+
+// cmpEvent orders events by the kernel's strict (at, seq) total order.
+func cmpEvent(a, b *event) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.seq != b.seq {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// eventQueue is a min-heap ordered by (at, seq). The back-reference to the
+// scheduler lets Push report a corrupted insert through the audit instead
+// of silently dropping it.
+type eventQueue struct {
+	s   *Scheduler
+	evs []*event
+}
+
+func (q *eventQueue) Len() int { return len(q.evs) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.evs[i], q.evs[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) {
+	q.evs[i], q.evs[j] = q.evs[j], q.evs[i]
+	q.evs[i].index = i
+	q.evs[j].index = j
 }
 
 func (q *eventQueue) Push(x any) {
 	ev, ok := x.(*event)
 	if !ok {
+		if q.s != nil && q.s.audit != nil {
+			q.s.audit.Violation("sim/queue-integrity", q.s.now, fmt.Sprintf(
+				"heap push of foreign value %T", x))
+		}
 		return
 	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
+	ev.index = len(q.evs)
+	q.evs = append(q.evs, ev)
 }
 
 func (q *eventQueue) Pop() any {
-	old := *q
+	old := q.evs
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
 	ev.index = -1
-	*q = old[:n-1]
+	q.evs = old[:n-1]
 	return ev
+}
+
+// heapKernel adapts the legacy binary heap to the kernel interface.
+type heapKernel struct {
+	s *Scheduler
+	q eventQueue
+}
+
+func (k *heapKernel) len() int { return len(k.q.evs) }
+
+func (k *heapKernel) push(ev *event) { heap.Push(&k.q, ev) }
+
+func (k *heapKernel) peek() *event {
+	if len(k.q.evs) == 0 {
+		return nil
+	}
+	return k.q.evs[0]
+}
+
+func (k *heapKernel) pop() *event {
+	if len(k.q.evs) == 0 {
+		return nil
+	}
+	ev, ok := heap.Pop(&k.q).(*event)
+	if !ok {
+		if k.s.audit != nil {
+			k.s.audit.Violation("sim/queue-integrity", k.s.now, fmt.Sprintf(
+				"heap pop yielded a foreign value %T", ev))
+		}
+		return nil
+	}
+	return ev
+}
+
+func (k *heapKernel) cancel(ev *event) bool {
+	s := k.s
+	if s.audit != nil && (ev.index >= len(k.q.evs) || k.q.evs[ev.index] != ev) {
+		s.audit.Violation("sim/queue-integrity", s.now, fmt.Sprintf(
+			"cancel of event seq=%d: heap index %d does not point back at the event",
+			ev.seq, ev.index))
+		return false
+	}
+	heap.Remove(&k.q, ev.index)
+	s.release(ev)
+	return true
 }
 
 // Scheduler owns the virtual clock and the pending event queue.
@@ -147,7 +273,7 @@ func (q *eventQueue) Pop() any {
 type Scheduler struct {
 	now       Time
 	seq       uint64
-	queue     eventQueue
+	k         kernel
 	free      []*event // recycled event storage
 	fired     uint64
 	highWater int // deepest the queue has ever been
@@ -162,6 +288,7 @@ func (s *Scheduler) alloc() *event {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		ev.freed = false
+		ev.dead = false
 		return ev
 	}
 	return &event{}
@@ -181,16 +308,33 @@ func (s *Scheduler) release(ev *event) {
 	s.free = append(s.free, ev)
 }
 
-// NewScheduler returns a scheduler with the clock at TimeZero.
+// NewScheduler returns a scheduler with the clock at TimeZero, running the
+// default (ladder) kernel.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return NewSchedulerKernel(KernelLadder)
+}
+
+// NewSchedulerKernel returns a scheduler driven by the chosen queue
+// kernel. Runs are bit-identical across kernels; KernelHeap exists for
+// differential testing and as an escape hatch.
+func NewSchedulerKernel(k Kernel) *Scheduler {
+	s := &Scheduler{}
+	switch k {
+	case KernelHeap:
+		hk := &heapKernel{s: s}
+		hk.q.s = s
+		s.k = hk
+	default:
+		s.k = newLadderQueue(s)
+	}
+	return s
 }
 
 // Now reports the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Pending reports the number of events still queued.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return s.k.len() }
 
 // Fired reports the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -208,9 +352,9 @@ func (s *Scheduler) At(at Time, fn func()) (Event, error) {
 	ev := s.alloc()
 	ev.at, ev.seq, ev.fn = at, s.seq, fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	if len(s.queue) > s.highWater {
-		s.highWater = len(s.queue)
+	s.k.push(ev)
+	if n := s.k.len(); n > s.highWater {
+		s.highWater = n
 	}
 	return Event{e: ev, gen: ev.gen}, nil
 }
@@ -235,25 +379,14 @@ func (s *Scheduler) Cancel(ev Event) bool {
 	if !ev.Scheduled() {
 		return false
 	}
-	if s.audit != nil && (ev.e.index >= len(s.queue) || s.queue[ev.e.index] != ev.e) {
-		s.audit.Violation("sim/queue-integrity", s.now, fmt.Sprintf(
-			"cancel of event seq=%d: heap index %d does not point back at the event",
-			ev.e.seq, ev.e.index))
-		return false
-	}
-	heap.Remove(&s.queue, ev.e.index)
-	s.release(ev.e)
-	return true
+	return s.k.cancel(ev.e)
 }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
-		return false
-	}
-	ev, ok := heap.Pop(&s.queue).(*event)
-	if !ok {
+	ev := s.k.pop()
+	if ev == nil {
 		return false
 	}
 	if s.audit != nil {
@@ -284,8 +417,9 @@ func (s *Scheduler) Step() bool {
 func (s *Scheduler) Run(until Time) uint64 {
 	s.stopped = false
 	var n uint64
-	for len(s.queue) > 0 && !s.stopped {
-		if s.queue[0].at > until {
+	for !s.stopped {
+		ev := s.k.peek()
+		if ev == nil || ev.at > until {
 			break
 		}
 		s.Step()
@@ -302,7 +436,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 func (s *Scheduler) RunAll() uint64 {
 	s.stopped = false
 	var n uint64
-	for len(s.queue) > 0 && !s.stopped {
+	for s.k.len() > 0 && !s.stopped {
 		s.Step()
 		n++
 	}
@@ -317,6 +451,7 @@ type Ticker struct {
 	s      *Scheduler
 	period Duration
 	fn     func()
+	fire   func() // t.tick bound once, so re-arming allocates nothing
 	ev     Event
 	stop   bool
 }
@@ -328,10 +463,11 @@ func (s *Scheduler) NewTicker(offset, period Duration, fn func()) (*Ticker, erro
 		return nil, fmt.Errorf("sim: ticker period %v not positive", period)
 	}
 	t := &Ticker{s: s, period: period, fn: fn}
+	t.fire = t.tick
 	if offset < 0 {
 		offset = 0
 	}
-	t.ev = s.After(offset, t.tick)
+	t.ev = s.After(offset, t.fire)
 	return t, nil
 }
 
@@ -341,7 +477,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stop {
-		t.ev = t.s.After(t.period, t.tick)
+		t.ev = t.s.After(t.period, t.fire)
 	}
 }
 
