@@ -17,13 +17,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"roborepair"
 	"roborepair/internal/analysis"
 	"roborepair/internal/chaos"
+	"roborepair/internal/checkpoint"
 	"roborepair/internal/core"
+	"roborepair/internal/invariant"
 	"roborepair/internal/runner"
+	"roborepair/internal/scenario"
+	"roborepair/internal/sim"
 )
 
 func main() {
@@ -70,6 +75,7 @@ func run(args []string) error {
 	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
 	csvPath := fs.String("csv", "", "also write one CSV row per run to this file")
 	progress := fs.Bool("progress", false, "print live grid progress to stderr")
+	snapshotDir := fs.String("snapshot-dir", "", "on violation, bank the snapshot nearest the first breach here and replay it with a tail trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,7 +130,50 @@ func run(args []string) error {
 	fmt.Printf("invck: %d runs (%d algorithms × %d plans × %d seeds) in %.1fs: %d violations\n",
 		stats.Runs, len(algs), len(planNames), *seeds, stats.Wall.Seconds(), violations)
 	if violations > 0 {
+		if *snapshotDir != "" {
+			if err := replayFirstViolation(results, *snapshotDir, *simtime); err != nil {
+				fmt.Fprintln(os.Stderr, "invck: replay:", err)
+			}
+		}
 		return fmt.Errorf("%d invariant violations", violations)
+	}
+	return nil
+}
+
+// replayFirstViolation takes the first violated run, deterministically
+// re-derives the snapshot nearest (strictly before) its earliest breach,
+// banks it in dir for offline debugging, then restores it with a tail
+// trace and replays past the violation so the events leading up to the
+// breach print without re-tracing the whole run.
+func replayFirstViolation(results []runner.Result, dir string, simtime float64) error {
+	for _, r := range results {
+		v, ok := invariant.First(r.Res.Violations)
+		if !ok {
+			continue
+		}
+		every := sim.Duration(simtime / 16)
+		snap, err := scenario.NearestSnapshot(r.Job.Config, v.At, every)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("violation-%s-%s-seed%d.ckpt",
+			r.Job.Config.Algorithm, r.Job.Tag.(tag).plan, r.Job.Config.Seed))
+		if err := checkpoint.WriteFile(path, snap); err != nil {
+			return err
+		}
+		w, err := scenario.RestoreOpts(snap, scenario.RestoreOptions{TailTraceCapacity: 4096})
+		if err != nil {
+			return err
+		}
+		w.Sched.Run(v.At.Add(1))
+		fmt.Fprintf(os.Stderr,
+			"invck: first violation at %v (%s); snapshot at t=%.0f banked in %s; replayed tail:\n",
+			v.At, v.Law, snap.T, path)
+		fmt.Fprint(os.Stderr, w.Trace.Render(40))
+		return nil
 	}
 	return nil
 }

@@ -8,6 +8,14 @@
 // Robustness runs inject a fault plan and enable the reliability protocol:
 //
 //	repairsim -alg dynamic -reliable -fault 'robot@4000=0;burst@4000-8000=0.05'
+//
+// Checkpoint/restore: periodically snapshot the full simulator state, then
+// resume a killed run — or replay its tail with a fresh trace for
+// debugging — from the latest snapshot:
+//
+//	repairsim -alg dynamic -checkpoint run.ckpt -checkpoint-every 8000
+//	repairsim -restore run.ckpt
+//	repairsim -restore run.ckpt -tail-trace 200   # print the continuation's events
 package main
 
 import (
@@ -18,6 +26,9 @@ import (
 
 	"roborepair"
 	"roborepair/internal/chaos"
+	"roborepair/internal/checkpoint"
+	"roborepair/internal/scenario"
+	"roborepair/internal/sim"
 	"roborepair/internal/telemetry"
 )
 
@@ -53,6 +64,10 @@ func run(args []string) error {
 	chromeTrace := fs.String("chrome-trace", "", "write a Chrome trace_event JSON to this file, for chrome://tracing or ui.perfetto.dev (implies -telemetry)")
 	verbose := fs.Bool("v", false, "dump the full metrics registry")
 	asJSON := fs.Bool("json", false, "emit results as JSON")
+	ckptPath := fs.String("checkpoint", "", "snapshot the full simulator state to this file periodically (atomic replace; the file holds the latest snapshot)")
+	ckptEvery := fs.Float64("checkpoint-every", 0, "snapshot period in simulated seconds (0 = simtime/8)")
+	restorePath := fs.String("restore", "", "resume from a snapshot file instead of starting fresh; the configuration comes from the snapshot and config flags are ignored")
+	tailTrace := fs.Int("tail-trace", 0, "with -restore: record the continuation in a trace ring of this capacity and print it (replay-from-snapshot debugging)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,11 +96,49 @@ func run(args []string) error {
 	}
 	cfg.EfficientBroadcast = *efficient
 
-	w, err := roborepair.NewWorld(cfg)
-	if err != nil {
-		return err
+	var w *roborepair.World
+	var res roborepair.Results
+	switch {
+	case *restorePath != "":
+		snap, err := checkpoint.ReadFile(*restorePath)
+		if err != nil {
+			return err
+		}
+		w, err = scenario.RestoreOpts(snap, scenario.RestoreOptions{TailTraceCapacity: *tailTrace})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "repairsim: restored %s at t=%.0f s, running to %.0f s\n",
+			*restorePath, snap.T, w.Cfg.SimTime)
+		res = w.Run()
+	case *ckptPath != "":
+		w, err = roborepair.NewWorld(cfg)
+		if err != nil {
+			return err
+		}
+		every := *ckptEvery
+		if every <= 0 {
+			every = cfg.SimTime / 8
+		}
+		res, err = w.RunCheckpointed(scenario.CheckpointOptions{
+			Every: sim.Duration(every),
+			OnSnapshot: func(s *checkpoint.Snapshot) error {
+				return checkpoint.WriteFile(*ckptPath, s)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		w, err = roborepair.NewWorld(cfg)
+		if err != nil {
+			return err
+		}
+		res = w.Run()
 	}
-	res := w.Run()
+	if *restorePath != "" && *tailTrace != 0 {
+		fmt.Print(w.Trace.Render(*tailTrace))
+	}
 	if err := export(w, res, *prom, *timeseries, *chromeTrace); err != nil {
 		return err
 	}

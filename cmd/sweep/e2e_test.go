@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The e2e test re-execs this test binary as the sweep CLI: TestMain
+// diverts to run() when the child-mode env var is set, so a real process
+// can be SIGKILLed mid-grid without shelling out to `go build`.
+const childEnv = "SWEEP_E2E_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(childEnv); args != "" {
+		if err := run(strings.Split(args, "\n")); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// sweepChild launches this binary in child mode with the given CLI args,
+// stdout captured to outPath.
+func sweepChild(t *testing.T, outPath string, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { out.Close() })
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), childEnv+"="+strings.Join(args, "\n"))
+	cmd.Stdout = out
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// TestSweepKillMinusNineResume is the crash-safety acceptance test: a grid
+// killed with SIGKILL mid-flight, re-invoked with -resume, completes with
+// a final CSV byte-identical to an uninterrupted run's.
+func TestSweepKillMinusNineResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real processes")
+	}
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "grid.journal")
+	grid := []string{
+		"-param", "robots", "-values", "4", "-algs", "dynamic,fixed",
+		"-seeds", "3", "-simtime", "3000", "-procs", "1", "-reliable",
+	}
+
+	// Uninterrupted reference.
+	refCSV := filepath.Join(dir, "ref.csv")
+	if err := sweepChild(t, refCSV, grid...).Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Journaled run, SIGKILLed once at least one job has landed durably.
+	victimCSV := filepath.Join(dir, "victim.csv")
+	victim := sweepChild(t, victimCSV, append(grid, "-journal", journal)...)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if raw, err := os.ReadFile(journal); err == nil && bytes.Count(raw, []byte{'\n'}) >= 2 {
+			break // header + ≥1 entry fsynced
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			victim.Wait()
+			t.Fatal("journal never accumulated an entry")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	err := victim.Wait()
+	if err == nil {
+		t.Log("victim finished before the kill landed; resume still must be byte-identical")
+	}
+
+	// Resume and compare byte for byte.
+	resumedCSV := filepath.Join(dir, "resumed.csv")
+	if err := sweepChild(t, resumedCSV, append(grid, "-journal", journal, "-resume")...).Run(); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	ref, err := os.ReadFile(refCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(resumedCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, resumed) {
+		t.Errorf("resumed CSV differs from uninterrupted CSV:\n--- uninterrupted\n%s\n--- resumed\n%s", ref, resumed)
+	}
+}
+
+// TestSweepJournalMismatchFailsWithNote: resuming against a journal from a
+// different grid must not silently mix results — the run exits nonzero and
+// the output stream carries an explicit note instead of rows.
+func TestSweepJournalMismatchFailsWithNote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "grid.journal")
+	gridA := []string{"-param", "robots", "-values", "4", "-algs", "dynamic",
+		"-seeds", "1", "-simtime", "1000", "-journal", journal}
+	if err := sweepChild(t, filepath.Join(dir, "a.csv"), gridA...).Run(); err != nil {
+		t.Fatalf("first grid: %v", err)
+	}
+	// Same journal, different grid (seed count changed).
+	gridB := []string{"-param", "robots", "-values", "4", "-algs", "dynamic",
+		"-seeds", "2", "-simtime", "1000", "-journal", journal, "-resume"}
+	bCSV := filepath.Join(dir, "b.csv")
+	err := sweepChild(t, bCSV, gridB...).Run()
+	if err == nil {
+		t.Fatal("mismatched journal accepted (exit 0)")
+	}
+	out, rerr := os.ReadFile(bCSV)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Contains(out, []byte("# resume aborted")) {
+		t.Errorf("output lacks the partial-results note:\n%s", out)
+	}
+	if bytes.Contains(out, []byte("dynamic,robots")) {
+		t.Errorf("mismatched resume still emitted data rows:\n%s", out)
+	}
+}

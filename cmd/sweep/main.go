@@ -16,9 +16,20 @@
 //
 //	sweep -param loss -values 0,0.1 -reliable \
 //	      -fault 'robot@4000=0;burst@4000-8000=0.05;mgr@9000'
+//
+// Long grids survive being killed: -journal records every completed run
+// durably, and a second invocation with the same flags resumes mid-flight,
+// re-running only unfinished jobs while the final CSV stays byte-identical
+// to an uninterrupted run. -checkpoint-dir additionally snapshots each
+// running job so even partial runs resume from their last snapshot:
+//
+//	sweep -seeds 32 -journal grid.journal -checkpoint-dir ckpt -checkpoint-every 4000
+//	# ... killed ...
+//	sweep -seeds 32 -journal grid.journal -checkpoint-dir ckpt -checkpoint-every 4000 -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -62,6 +73,10 @@ func run(args []string) error {
 	timeseries := fs.String("timeseries", "", "write per-run gauge time series to this CSV file (implies -telemetry)")
 	sampleEvery := fs.Float64("sample-every", 0, "gauge sampling cadence in sim seconds (0 = default 250)")
 	progress := fs.Bool("progress", false, "print live grid progress to stderr")
+	journalPath := fs.String("journal", "", "journal completed runs to this file (crash-safe; an existing matching journal is resumed)")
+	resume := fs.Bool("resume", false, "require -journal to already exist and resume it (error when absent)")
+	ckptDir := fs.String("checkpoint-dir", "", "snapshot each running job's simulator state into this directory (with -checkpoint-every)")
+	ckptEvery := fs.Float64("checkpoint-every", 0, "per-job snapshot period in simulated seconds (0 = no mid-job snapshots)")
 	kernel := fs.String("kernel", "", "event-queue kernel: ladder (default) or heap")
 	scale := fs.Int("scale", 1, "multiply sensors-per-robot by this factor, growing the field to keep density (stress runs)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
@@ -130,10 +145,41 @@ func run(args []string) error {
 		}
 	}
 
-	ropts := runner.Options{Procs: *procs}
+	ropts := runner.Options{Procs: *procs, CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery}
 	if *progress {
 		ropts.Progress = runner.ProgressWriter(os.Stderr)
 		ropts.ProgressEvery = 250 * time.Millisecond
+	}
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+	if *journalPath != "" {
+		if *timeseries != "" {
+			// Journaled results round-trip through JSON, which cannot carry
+			// the live telemetry collector a resumed -timeseries would need.
+			return fmt.Errorf("-journal cannot be combined with -timeseries")
+		}
+		if *resume {
+			if _, err := os.Stat(*journalPath); err != nil {
+				return fmt.Errorf("-resume: %w", err)
+			}
+		}
+		j, err := runner.OpenJournal(*journalPath, jobs)
+		if err != nil {
+			if errors.Is(err, runner.ErrJournalMismatch) {
+				// The journal's completed runs belong to some other grid: no
+				// row of this sweep can be trusted from it. Say so in the
+				// output stream, then fail.
+				fmt.Printf("# resume aborted, no rows emitted: %v\n", err)
+			}
+			return err
+		}
+		defer j.Close()
+		if *resume && j.Completed() > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: resuming %s: %d/%d runs already journaled\n",
+				*journalPath, j.Completed(), len(jobs))
+		}
+		ropts.Journal = j
 	}
 	results, st, err := runner.Run(jobs, ropts)
 	if err != nil {

@@ -1,0 +1,23 @@
+package chaos
+
+import "roborepair/internal/checkpoint"
+
+// AppendState serializes the corrupter's dynamic state — the replay
+// capture ring, oldest occupied slot first — in canonical order
+// (checkpoint section payload). The plan entries are config, not state;
+// the RNG stream is captured in the RNG section. Nil-safe: a world without
+// corruption windows appends an empty ring.
+func (c *FrameCorrupter) AppendState(b []byte) []byte {
+	if c == nil {
+		return checkpoint.AppendU32(b, 0)
+	}
+	b = checkpoint.AppendU32(b, uint32(c.ringN))
+	// ringPos is the next slot to overwrite; with ringN slots occupied the
+	// oldest entry sits at ringPos-ringN (mod len). Walking oldest-first
+	// makes the payload a function of capture history alone.
+	for i := 0; i < c.ringN; i++ {
+		slot := (c.ringPos - c.ringN + i + len(c.ring)) % len(c.ring)
+		b = checkpoint.AppendBytes(b, c.ring[slot])
+	}
+	return b
+}

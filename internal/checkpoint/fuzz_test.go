@@ -1,0 +1,41 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode locks the decoder's two defensive properties:
+// it never panics on arbitrary input, and anything it accepts is in
+// canonical form (re-encodes byte-identically).
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed corpus: a valid snapshot, prefixes of it, mutations, and junk.
+	valid, err := Encode(sampleSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:16])
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)-1] ^= 0xFF
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Add([]byte("RRSN"))
+	f.Add(bytes.Repeat([]byte{0}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ canonical: the re-encoding reproduces the input.
+		re, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not canonical: %d in vs %d out bytes", len(data), len(re))
+		}
+	})
+}

@@ -106,6 +106,18 @@ type Violation struct {
 	Detail string `json:"detail"`
 }
 
+// First returns the earliest violation by detection time (ties keep the
+// recorded order), for tools that replay a run from the snapshot nearest
+// the first breach. ok is false when vs is empty.
+func First(vs []Violation) (v Violation, ok bool) {
+	for i, c := range vs {
+		if i == 0 || c.At < v.At {
+			v, ok = c, true
+		}
+	}
+	return v, ok
+}
+
 // String renders the violation as a one-line diagnostic.
 func (v Violation) String() string {
 	if v.Entity == "" {

@@ -1,0 +1,82 @@
+package node
+
+import (
+	"sort"
+
+	"roborepair/internal/checkpoint"
+)
+
+// AppendState serializes the sensor's complete dynamic state in canonical
+// order (checkpoint section payload). Scheduled-event handles are omitted:
+// their (at, seq) stamps live in the kernel section, and a restored run
+// rebuilds the closures by deterministic replay.
+func (s *Sensor) AppendState(b []byte) []byte {
+	b = checkpoint.AppendI64(b, int64(s.id))
+	b = checkpoint.AppendF64(b, s.pos.X)
+	b = checkpoint.AppendF64(b, s.pos.Y)
+	b = checkpoint.AppendBool(b, s.alive)
+	b = checkpoint.AppendI64(b, int64(s.guardian))
+	b = checkpoint.AppendF64(b, float64(s.lastGuardian))
+	b = checkpoint.AppendI64(b, int64(s.target))
+	b = checkpoint.AppendF64(b, s.targetLoc.X)
+	b = checkpoint.AppendF64(b, s.targetLoc.Y)
+	b = checkpoint.AppendU64(b, s.replayRejected)
+	b = checkpoint.AppendU64(b, s.reportSeq)
+	b = checkpoint.AppendF64(b, float64(s.lastFrameAt))
+	b = checkpoint.AppendI64(b, int64(s.manager))
+
+	// Guardees are kept ID-ascending by upsertGuardee.
+	b = checkpoint.AppendU32(b, uint32(len(s.guardees)))
+	for _, g := range s.guardees {
+		b = checkpoint.AppendI64(b, int64(g.id))
+		b = checkpoint.AppendF64(b, g.loc.X)
+		b = checkpoint.AppendF64(b, g.loc.Y)
+		b = checkpoint.AppendF64(b, float64(g.lastHeard))
+	}
+
+	// Robot tracks: known entries only, slice index order (ID-ascending).
+	known := 0
+	for i := range s.robots {
+		if s.robots[i].known {
+			known++
+		}
+	}
+	b = checkpoint.AppendU32(b, uint32(known))
+	for i := range s.robots {
+		tr := &s.robots[i]
+		if !tr.known {
+			continue
+		}
+		b = checkpoint.AppendI64(b, int64(i))
+		b = checkpoint.AppendF64(b, tr.loc.X)
+		b = checkpoint.AppendF64(b, tr.loc.Y)
+		b = checkpoint.AppendU64(b, tr.seq)
+		b = checkpoint.AppendF64(b, float64(tr.heard))
+	}
+
+	b = s.table.AppendState(b)
+	b = s.flooder.AppendState(b)
+
+	// Pending reports sorted by report sequence.
+	seqs := make([]uint64, 0, len(s.pending))
+	for seq := range s.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	b = checkpoint.AppendU32(b, uint32(len(seqs)))
+	for _, seq := range seqs {
+		p := s.pending[seq]
+		b = checkpoint.AppendU64(b, seq)
+		b = checkpoint.AppendI64(b, int64(p.rep.Failed))
+		b = checkpoint.AppendF64(b, p.rep.Loc.X)
+		b = checkpoint.AppendF64(b, p.rep.Loc.Y)
+		b = checkpoint.AppendI64(b, int64(p.rep.Reporter))
+		b = checkpoint.AppendF64(b, p.rep.ReporterLoc.X)
+		b = checkpoint.AppendF64(b, p.rep.ReporterLoc.Y)
+		b = checkpoint.AppendF64(b, float64(p.rep.DetectedAt))
+		b = checkpoint.AppendU32(b, uint32(p.attempts))
+		b = checkpoint.AppendBool(b, p.acked)
+		b = checkpoint.AppendI64(b, int64(p.target))
+	}
+	return b
+}

@@ -15,13 +15,54 @@ import (
 )
 
 // Source is a deterministic random stream.
+//
+// Every draw advances the underlying generator by a counted number of
+// steps, so a stream's full state is the pair (seed, draws): State captures
+// it and Restore rebuilds a stream that continues bit-identically. That is
+// what makes full-simulator checkpoints possible without serializing
+// math/rand internals.
 type Source struct {
-	r *rand.Rand
+	r    *rand.Rand
+	c    counting
+	name string
+	seed int64 // the seed actually fed to rand.NewSource (post-Split mix)
+}
+
+// counting wraps the stdlib generator and counts its state steps. Both
+// Int63 and Uint64 advance math/rand's additive-lagged-Fibonacci state by
+// exactly one step, so one counter captures the position regardless of
+// which distribution methods consumed the draws.
+type counting struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *counting) Int63() int64 { c.draws++; return c.src.Int63() }
+
+func (c *counting) Uint64() uint64 { c.draws++; return c.src.Uint64() }
+
+func (c *counting) Seed(seed int64) { c.src.Seed(seed); c.draws = 0 }
+
+// StreamState is the serializable position of one stream: rebuildable with
+// Restore, comparable for checkpoint verification.
+type StreamState struct {
+	// Name is the stream's Split name ("" for New-built streams).
+	Name string
+	// Seed is the mixed seed of the underlying generator.
+	Seed int64
+	// Draws is the number of generator steps consumed so far.
+	Draws uint64
 }
 
 // New returns a stream seeded with seed.
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed))}
+	s := &Source{seed: seed}
+	// The stdlib source implements Source64; keeping it (rather than
+	// substituting our own generator) preserves the exact draw sequences
+	// of every historical run.
+	s.c.src = rand.NewSource(seed).(rand.Source64)
+	s.r = rand.New(&s.c)
+	return s
 }
 
 // Split derives an independent child stream from a parent seed and a stream
@@ -31,7 +72,34 @@ func Split(seed int64, name string) *Source {
 	// fnv never returns a write error.
 	_, _ = h.Write([]byte(name))
 	mixed := seed ^ int64(h.Sum64())
-	return New(mixed)
+	s := New(mixed)
+	s.name = name
+	return s
+}
+
+// Name reports the stream's Split name ("" for New-built streams).
+func (s *Source) Name() string { return s.name }
+
+// Draws reports the number of generator steps consumed so far.
+func (s *Source) Draws() uint64 { return s.c.draws }
+
+// State captures the stream's exact position. The stream itself is not
+// perturbed.
+func (s *Source) State() StreamState {
+	return StreamState{Name: s.name, Seed: s.seed, Draws: s.c.draws}
+}
+
+// Restore rebuilds a stream from a captured state by reseeding and
+// fast-forwarding the counted number of steps. The returned stream's next
+// draws are bit-identical to the original's.
+func Restore(st StreamState) *Source {
+	s := New(st.Seed)
+	s.name = st.Name
+	for i := uint64(0); i < st.Draws; i++ {
+		s.c.src.Uint64()
+	}
+	s.c.draws = st.Draws
+	return s
 }
 
 // Float64 returns a uniform value in [0, 1).

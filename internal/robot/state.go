@@ -1,0 +1,119 @@
+package robot
+
+import (
+	"sort"
+
+	"roborepair/internal/checkpoint"
+	"roborepair/internal/radio"
+)
+
+// AppendState serializes the robot's complete dynamic state in canonical
+// order (checkpoint section payload). Scheduled-event handles (arrival,
+// update, takeover timers) are omitted: their (at, seq) stamps live in the
+// kernel section, and a restored run rebuilds them by deterministic
+// replay.
+func (r *Robot) AppendState(b []byte) []byte {
+	b = checkpoint.AppendI64(b, int64(r.id))
+	b = checkpoint.AppendF64(b, r.anchor.X)
+	b = checkpoint.AppendF64(b, r.anchor.Y)
+	b = checkpoint.AppendF64(b, float64(r.anchorTime))
+	b = checkpoint.AppendF64(b, r.dest.X)
+	b = checkpoint.AppendF64(b, r.dest.Y)
+	b = checkpoint.AppendBool(b, r.moving)
+	b = checkpoint.AppendF64(b, r.indexedPos.X)
+	b = checkpoint.AppendF64(b, r.indexedPos.Y)
+	b = checkpoint.AppendF64(b, r.traveled)
+	b = checkpoint.AppendU64(b, r.seq)
+	b = checkpoint.AppendI64(b, int64(r.cargo))
+	b = checkpoint.AppendBool(b, r.restocking)
+	b = checkpoint.AppendI64(b, int64(r.restocks))
+	b = checkpoint.AppendBool(b, r.failed)
+	b = checkpoint.AppendU64(b, r.replayRejected)
+
+	appendTask := func(b []byte, t Task) []byte {
+		b = checkpoint.AppendI64(b, int64(t.Failed))
+		b = checkpoint.AppendF64(b, t.Loc.X)
+		b = checkpoint.AppendF64(b, t.Loc.Y)
+		b = checkpoint.AppendF64(b, float64(t.EnqueuedAt))
+		return b
+	}
+	b = checkpoint.AppendBool(b, r.current != nil)
+	if r.current != nil {
+		b = appendTask(b, *r.current)
+		b = checkpoint.AppendF64(b, r.taskFrom.X)
+		b = checkpoint.AppendF64(b, r.taskFrom.Y)
+	}
+	b = checkpoint.AppendU32(b, uint32(len(r.queue)))
+	for _, t := range r.queue {
+		b = appendTask(b, t)
+	}
+	b = checkpoint.AppendU32(b, uint32(len(r.stranded)))
+	for _, t := range r.stranded {
+		b = appendTask(b, t)
+	}
+
+	// Reliability-extension state.
+	b = checkpoint.AppendI64(b, int64(r.mgrID))
+	b = checkpoint.AppendF64(b, r.mgrLoc.X)
+	b = checkpoint.AppendF64(b, r.mgrLoc.Y)
+	b = checkpoint.AppendF64(b, float64(r.lastMgrAck))
+	b = checkpoint.AppendBool(b, r.takeoverArmed)
+	b = checkpoint.AppendBool(b, r.managing)
+
+	b = appendIDSet(b, r.seen)
+
+	peerIDs := make([]radio.NodeID, 0, len(r.peers))
+	for id := range r.peers {
+		peerIDs = append(peerIDs, id)
+	}
+	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
+	b = checkpoint.AppendU32(b, uint32(len(peerIDs)))
+	for _, id := range peerIDs {
+		p := r.peers[id]
+		b = checkpoint.AppendI64(b, int64(id))
+		b = checkpoint.AppendF64(b, p.loc.X)
+		b = checkpoint.AppendF64(b, p.loc.Y)
+		b = checkpoint.AppendF64(b, float64(p.heard))
+		b = checkpoint.AppendI64(b, int64(p.load))
+		b = checkpoint.AppendU64(b, p.seq)
+	}
+
+	outIDs := make([]radio.NodeID, 0, len(r.outstanding))
+	for id := range r.outstanding {
+		outIDs = append(outIDs, id)
+	}
+	sort.Slice(outIDs, func(i, j int) bool { return outIDs[i] < outIDs[j] })
+	b = checkpoint.AppendU32(b, uint32(len(outIDs)))
+	for _, id := range outIDs {
+		o := r.outstanding[id]
+		b = checkpoint.AppendI64(b, int64(id))
+		b = checkpoint.AppendI64(b, int64(o.req.Failed))
+		b = checkpoint.AppendF64(b, o.req.Loc.X)
+		b = checkpoint.AppendF64(b, o.req.Loc.Y)
+		b = checkpoint.AppendF64(b, float64(o.req.IssuedAt))
+		b = checkpoint.AppendI64(b, int64(o.req.Manager))
+		b = checkpoint.AppendF64(b, o.req.ManagerLoc.X)
+		b = checkpoint.AppendF64(b, o.req.ManagerLoc.Y)
+		b = checkpoint.AppendI64(b, int64(o.robot))
+		b = checkpoint.AppendF64(b, float64(o.lastSent))
+		b = checkpoint.AppendI64(b, int64(o.attempts))
+		b = checkpoint.AppendBool(b, o.acked)
+	}
+	return b
+}
+
+// appendIDSet serializes a NodeID set in ascending order.
+func appendIDSet(b []byte, set map[radio.NodeID]bool) []byte {
+	ids := make([]radio.NodeID, 0, len(set))
+	for id, on := range set {
+		if on {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b = checkpoint.AppendU32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = checkpoint.AppendI64(b, int64(id))
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+// Crash-safe sweep journal: an append-only file of completed jobs, fsynced
+// per entry, so a killed grid resumes by replaying finished results and
+// re-running only the rest. The header binds the journal to one exact grid
+// (a hash of every job's config), and reads tolerate a torn trailing line —
+// the one write a crash can interrupt.
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"roborepair/internal/scenario"
+)
+
+// ErrJournalMismatch reports that an existing journal was written for a
+// different grid (different configs, order, or job count) and cannot be
+// used to resume this one.
+var ErrJournalMismatch = errors.New("runner: journal does not match this grid")
+
+// GridHash fingerprints a job grid: the SHA-256 over every job's config
+// JSON in input order. Tags are caller-side metadata and deliberately
+// excluded — they are re-supplied by the resuming process.
+func GridHash(jobs []Job) (string, error) {
+	h := sha256.New()
+	for _, j := range jobs {
+		b, err := json.Marshal(j.Config)
+		if err != nil {
+			return "", fmt.Errorf("runner: hash grid: %w", err)
+		}
+		h.Write(b)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+type journalHeader struct {
+	Magic    string `json:"magic"`
+	Version  int    `json:"version"`
+	GridHash string `json:"gridHash"`
+	Jobs     int    `json:"jobs"`
+}
+
+const (
+	journalMagic   = "roborepair-sweep-journal"
+	journalVersion = 1
+)
+
+type journalEntry struct {
+	Index int               `json:"index"`
+	Err   string            `json:"err,omitempty"`
+	Res   *scenario.Results `json:"res,omitempty"`
+}
+
+// Journal is an open sweep journal. Safe for concurrent Record calls.
+type Journal struct {
+	f       *os.File
+	entries map[int]journalEntry
+}
+
+// OpenJournal opens (or creates) the journal at path for the given grid.
+// A fresh file gets a header binding it to the grid; an existing file is
+// validated against the grid — ErrJournalMismatch if it was written for a
+// different one — and its completed entries are loaded for replay. A torn
+// trailing line (interrupted final write) is discarded and overwritten; a
+// torn line anywhere else is corruption and rejected.
+func OpenJournal(path string, jobs []Job) (*Journal, error) {
+	hash, err := GridHash(jobs)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return createJournal(path, hash, len(jobs))
+	case err != nil:
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+
+	lines := bytes.Split(raw, []byte{'\n'})
+	// A well-formed file ends with '\n', leaving one empty trailing
+	// element; anything after the last newline is a torn final write.
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		return nil, fmt.Errorf("runner: journal %s: missing header", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, fmt.Errorf("runner: journal %s: header: %w", path, err)
+	}
+	if hdr.Magic != journalMagic || hdr.Version != journalVersion {
+		return nil, fmt.Errorf("runner: journal %s: not a v%d sweep journal", path, journalVersion)
+	}
+	if hdr.GridHash != hash || hdr.Jobs != len(jobs) {
+		return nil, fmt.Errorf("%w: journal is for %d jobs with grid hash %.12s…, this grid has %d jobs with hash %.12s…",
+			ErrJournalMismatch, hdr.Jobs, hdr.GridHash, len(jobs), hash)
+	}
+
+	entries := make(map[int]journalEntry)
+	keep := len(lines[0]) + 1 // bytes of the file to preserve: header line so far
+	for li := 1; li < len(lines); li++ {
+		line := lines[li]
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Index < 0 || e.Index >= len(jobs) {
+			if li == len(lines)-1 {
+				break // torn final write: discard and overwrite
+			}
+			return nil, fmt.Errorf("runner: journal %s: corrupt entry on line %d", path, li+1)
+		}
+		entries[e.Index] = e
+		keep += len(line) + 1
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	// Drop the torn tail (if any) so the next entry starts on its own line.
+	if err := f.Truncate(int64(keep)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	if _, err := f.Seek(int64(keep), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	return &Journal{f: f, entries: entries}, nil
+}
+
+func createJournal(path, hash string, jobs int) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: create journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	hdr := journalHeader{Magic: journalMagic, Version: journalVersion, GridHash: hash, Jobs: jobs}
+	if err := json.NewEncoder(w).Encode(hdr); err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: create journal: %w", err)
+	}
+	return &Journal{f: f, entries: make(map[int]journalEntry)}, nil
+}
+
+// Completed reports how many jobs the journal already holds.
+func (j *Journal) Completed() int { return len(j.entries) }
+
+// lookup returns the journaled outcome for job i, if present.
+func (j *Journal) lookup(i int) (scenario.Results, error, bool) {
+	e, ok := j.entries[i]
+	if !ok {
+		return scenario.Results{}, nil, false
+	}
+	if e.Err != "" {
+		return scenario.Results{}, errors.New(e.Err), true
+	}
+	var res scenario.Results
+	if e.Res != nil {
+		res = *e.Res
+	}
+	return res, nil, true
+}
+
+// record durably appends one completed job. The entry is a single JSON
+// line followed by fsync: a crash leaves at most one torn trailing line,
+// which the next OpenJournal discards.
+func (j *Journal) record(r Result) error {
+	e := journalEntry{Index: r.Index}
+	if r.Err != nil {
+		e.Err = r.Err.Error()
+	} else {
+		res := r.Res
+		e.Res = &res
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("runner: journal entry %d: %w", r.Index, err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("runner: journal entry %d: %w", r.Index, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: journal entry %d: %w", r.Index, err)
+	}
+	return nil
+}
+
+// Close releases the journal file. The journal stays on disk; delete it to
+// start the grid over.
+func (j *Journal) Close() error { return j.f.Close() }

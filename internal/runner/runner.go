@@ -14,12 +14,16 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"roborepair/internal/checkpoint"
 	"roborepair/internal/scenario"
+	"roborepair/internal/sim"
 )
 
 // Job is one cell of an experiment grid: a complete run configuration
@@ -57,6 +61,20 @@ type Stats struct {
 	// WorkerBusy is the time each worker spent inside simulation runs (as
 	// opposed to idle, waiting for the grid to drain); indexed by worker.
 	WorkerBusy []time.Duration
+	// Skipped is the number of jobs replayed from the resume journal
+	// instead of re-run (their SimSeconds do not count toward throughput).
+	Skipped int
+	// Resumed is the number of jobs continued mid-flight from an on-disk
+	// checkpoint instead of started from scratch.
+	Resumed int
+	// SnapshotsRejected counts per-job checkpoint files that failed to
+	// decode or verify; each such job fell back to a full run.
+	SnapshotsRejected int
+	// PanicRecoveries counts jobs whose run panicked; each panic was
+	// recovered and converted into that job's error.
+	PanicRecoveries int
+	// FirstPanic is the first recovered panic's message, "" when none.
+	FirstPanic string
 }
 
 // Utilization reports the fraction of worker-time spent running
@@ -104,22 +122,78 @@ type Options struct {
 	// ProgressEvery is the minimum wall-clock interval between Progress
 	// calls; values ≤ 0 report after every job.
 	ProgressEvery time.Duration
+	// Journal, when non-nil, makes the grid crash-safe: every completed
+	// job is durably appended, and jobs already present (from a previous,
+	// killed invocation of the same grid) are replayed instead of re-run.
+	// Replayed results are bit-identical to freshly computed ones except
+	// for fields excluded from JSON (the live Registry and Telemetry
+	// pointers), so order-stable CSV output is byte-identical on resume.
+	Journal *Journal
+	// CheckpointDir, when set together with CheckpointEvery > 0, snapshots
+	// every running job's full simulator state to
+	// CheckpointDir/job-NNNNNN.ckpt every CheckpointEvery simulated
+	// seconds. A resumed grid restores each unfinished job from its latest
+	// valid snapshot and re-runs only the remainder; snapshots that fail
+	// decoding or replay verification are rejected and the job restarts
+	// from scratch. Checkpoint files are removed as their jobs complete.
+	CheckpointDir string
+	// CheckpointEvery is the per-job snapshot period in simulated seconds.
+	CheckpointEvery float64
 }
 
 // runJob executes one configuration; swappable so tests can inject
 // failing or panicking jobs without a panicking scenario config.
 var runJob = scenario.Run
 
+// runOutcome is runOne's full report: the run result plus how it got there.
+type runOutcome struct {
+	res      scenario.Results
+	err      error
+	panicked bool
+	resumed  bool // continued from a valid on-disk checkpoint
+	rejected bool // a checkpoint file existed but failed decode/verify
+}
+
 // runOne runs a single job, converting a panic into an ordinary error so
 // one poisoned configuration cannot take down the whole grid (or the
-// worker goroutine, which would deadlock the WaitGroup).
-func runOne(cfg scenario.Config) (res scenario.Results, err error) {
+// worker goroutine, which would deadlock the WaitGroup). With a checkpoint
+// path the job first tries to restore from an existing snapshot — falling
+// back to a full run if the file is missing, torn, or fails replay
+// verification — and snapshots periodically while running.
+func runOne(cfg scenario.Config, ckptPath string, every float64) (out runOutcome) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("runner: job panicked: %v", r)
+			out.panicked = true
+			out.err = fmt.Errorf("runner: job panicked: %v", r)
 		}
 	}()
-	return runJob(cfg)
+	if ckptPath == "" {
+		out.res, out.err = runJob(cfg)
+		return out
+	}
+	opts := scenario.CheckpointOptions{
+		Every: sim.Duration(every),
+		OnSnapshot: func(s *checkpoint.Snapshot) error {
+			return checkpoint.WriteFile(ckptPath, s)
+		},
+	}
+	if snap, err := checkpoint.ReadFile(ckptPath); err == nil {
+		if w, rerr := scenario.Restore(snap); rerr == nil {
+			out.resumed = true
+			out.res, out.err = w.RunCheckpointed(opts)
+			return out
+		}
+		out.rejected = true
+	} else if !errors.Is(err, os.ErrNotExist) {
+		out.rejected = true
+	}
+	w, err := scenario.New(cfg)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.res, out.err = w.RunCheckpointed(opts)
+	return out
 }
 
 // Run executes every job on a pool of workers and returns the results in
@@ -147,8 +221,37 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 	busy := make([]atomic.Int64, procs)
 	start := time.Now()
 	prog := newProgressState(opts, len(jobs), procs, start, busy)
+
+	// Replay journaled jobs up front: their results are already durable,
+	// so the workers only see the remainder.
+	skipped := make([]bool, len(jobs))
+	nSkipped := 0
+	if opts.Journal != nil {
+		for i := range jobs {
+			if res, jerr, ok := opts.Journal.lookup(i); ok {
+				results[i] = Result{Index: i, Job: jobs[i], Res: res, Err: jerr}
+				skipped[i] = true
+				nSkipped++
+				prog.observe(results[i])
+			}
+		}
+	}
+
+	ckptPath := func(i int) string {
+		if opts.CheckpointDir == "" || opts.CheckpointEvery <= 0 {
+			return ""
+		}
+		return filepath.Join(opts.CheckpointDir, fmt.Sprintf("job-%06d.ckpt", i))
+	}
+
+	// Shared robustness accounting, guarded by mu with OnResult/Progress.
+	var (
+		resumed, rejected, panics int
+		firstPanic                string
+		journalErr                error
+	)
 	var next atomic.Int64
-	var mu sync.Mutex // serializes OnResult and Progress
+	var mu sync.Mutex // serializes OnResult, Progress, journal, and counters
 	var wg sync.WaitGroup
 	for w := 0; w < procs; w++ {
 		wg.Add(1)
@@ -159,19 +262,42 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 				if i >= len(jobs) {
 					return
 				}
-				runStart := time.Now()
-				res, err := runOne(jobs[i].Config)
-				busy[worker].Add(int64(time.Since(runStart)))
-				r := Result{Index: i, Job: jobs[i], Res: res, Err: err}
-				results[i] = r
-				if opts.OnResult != nil || prog != nil {
-					mu.Lock()
-					if opts.OnResult != nil {
-						opts.OnResult(r)
-					}
-					prog.observe(r)
-					mu.Unlock()
+				if skipped[i] {
+					continue
 				}
+				path := ckptPath(i)
+				runStart := time.Now()
+				out := runOne(jobs[i].Config, path, opts.CheckpointEvery)
+				busy[worker].Add(int64(time.Since(runStart)))
+				r := Result{Index: i, Job: jobs[i], Res: out.res, Err: out.err}
+				results[i] = r
+				if path != "" {
+					// The job is done; its snapshot is stale.
+					os.Remove(path)
+				}
+				mu.Lock()
+				if out.resumed {
+					resumed++
+				}
+				if out.rejected {
+					rejected++
+				}
+				if out.panicked {
+					panics++
+					if firstPanic == "" {
+						firstPanic = out.err.Error()
+					}
+				}
+				if opts.Journal != nil {
+					if err := opts.Journal.record(r); err != nil && journalErr == nil {
+						journalErr = err
+					}
+				}
+				if opts.OnResult != nil {
+					opts.OnResult(r)
+				}
+				prog.observe(r)
+				mu.Unlock()
 			}
 		}(w)
 	}
@@ -181,15 +307,24 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 	for w := range busy {
 		workerBusy[w] = time.Duration(busy[w].Load())
 	}
-	stats := Stats{Runs: len(jobs), Procs: procs, Wall: time.Since(start), WorkerBusy: workerBusy}
+	stats := Stats{
+		Runs: len(jobs), Procs: procs, Wall: time.Since(start), WorkerBusy: workerBusy,
+		Skipped: nSkipped, Resumed: resumed, SnapshotsRejected: rejected,
+		PanicRecoveries: panics, FirstPanic: firstPanic,
+	}
 	var errs []error
+	if journalErr != nil {
+		errs = append(errs, journalErr)
+	}
 	for i := range results {
 		if results[i].Err != nil {
 			stats.Failed++
 			errs = append(errs, fmt.Errorf("runner: job %d: %w", i, results[i].Err))
 			continue
 		}
-		stats.SimSeconds += results[i].Job.Config.SimTime
+		if !skipped[i] {
+			stats.SimSeconds += results[i].Job.Config.SimTime
+		}
 	}
 	return results, stats, errors.Join(errs...)
 }

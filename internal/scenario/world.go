@@ -75,6 +75,15 @@ type World struct {
 	// disabled, so the hooks pay one nil check.
 	inv *invariant.Checker
 
+	// streams holds every named RNG stream split off the config seed, in
+	// creation order, so a checkpoint can capture each stream's exact
+	// position. Creation order is a deterministic function of the config.
+	streams []*rng.Source
+
+	// corrupter is retained for checkpointing (its replay-capture ring is
+	// dynamic state); nil unless the fault plan has corruption windows.
+	corrupter *chaos.FrameCorrupter
+
 	// hostile is set when the fault plan has corruption windows: the frame
 	// codec and corrupter are installed on the medium and every receiver
 	// runs its strict-sequence replay guard.
@@ -92,17 +101,31 @@ func New(cfg Config) (*World, error) {
 	}
 	sched := sim.NewSchedulerKernel(kernel)
 	reg := metrics.NewRegistry()
+	w := &World{
+		Cfg:            cfg,
+		Sched:          sched,
+		Registry:       reg,
+		Sensors:        make(map[radio.NodeID]*node.Sensor, cfg.NumSensors()),
+		nextID:         1,
+		managerCrashAt: -1,
+	}
+	// Named streams register on the world at creation so a checkpoint can
+	// capture their positions; registration itself draws nothing.
+	split := func(name string) *rng.Source {
+		s := rng.Split(cfg.Seed, name)
+		w.streams = append(w.streams, s)
+		return s
+	}
 	// The fault plan's loss bursts and blackouts wrap the base loss model;
 	// the burst draws come from their own stream so an (in)active burst
 	// never perturbs the base loss sequence.
-	loss := cfg.lossModel(rng.Split(cfg.Seed, "loss"))
+	loss := cfg.lossModel(split("loss"))
 	var outage radio.OutageModel
 	var channel radio.Channel
 	var corrupter radio.Corrupter
-	hostile := false
 	if cfg.Faults != nil {
 		if len(cfg.Faults.LossBursts) > 0 {
-			loss = chaos.NewLossInjector(cfg.Faults.LossBursts, loss, sched.Now, rng.Split(cfg.Seed, "chaos-loss"))
+			loss = chaos.NewLossInjector(cfg.Faults.LossBursts, loss, sched.Now, split("chaos-loss"))
 		}
 		if o := chaos.NewRegionOutage(cfg.Faults.Blackouts, sched.Now); o != nil {
 			outage = o
@@ -111,54 +134,47 @@ func New(cfg Config) (*World, error) {
 			// Hostile channel: serialize every frame so the corrupter has
 			// bytes to mutate, from its own stream so a corruption window
 			// never perturbs the loss or MAC sequences.
-			hostile = true
+			w.hostile = true
 			channel = wire.FrameCodec{}
-			corrupter = chaos.NewFrameCorrupter(cfg.Faults.Corruptions, sched.Now, rng.Split(cfg.Seed, "chaos-corrupt"))
+			w.corrupter = chaos.NewFrameCorrupter(cfg.Faults.Corruptions, sched.Now, split("chaos-corrupt"))
+			corrupter = w.corrupter
 		}
 	}
+	hostile := w.hostile
 	medium, err := radio.NewMedium(sched, reg, radio.Config{
 		CellSize:   cfg.SensorRange,
 		Loss:       loss,
 		Outage:     outage,
-		Contention: cfg.contentionModel(rng.Split(cfg.Seed, "mac")),
+		Contention: cfg.contentionModel(split("mac")),
 		Channel:    channel,
 		Corrupter:  corrupter,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	w := &World{
-		Cfg:            cfg,
-		Sched:          sched,
-		Medium:         medium,
-		Registry:       reg,
-		Sensors:        make(map[radio.NodeID]*node.Sensor, cfg.NumSensors()),
-		nextID:         1,
-		managerCrashAt: -1,
-		hostile:        hostile,
-	}
+	w.Medium = medium
 	if cfg.Invariants.Enabled {
 		w.startInvariants()
 	}
-	w.Injector = failure.NewInjector(sched, cfg.lifetimeModel(rng.Split(cfg.Seed, "lifetimes")))
+	w.Injector = failure.NewInjector(sched, cfg.lifetimeModel(split("lifetimes")))
 	if cfg.TraceCapacity != 0 {
 		w.Trace = trace.New(cfg.TraceCapacity)
 	}
-	if w.Trace != nil || w.inv != nil {
-		w.Injector.OnKill = func(n failure.Failable) {
-			s, ok := n.(*node.Sensor)
-			if !ok {
-				return
-			}
-			if w.inv != nil {
-				w.inv.FailureInjected(s.ID(), s.Pos())
-			}
-			if w.Trace != nil {
-				w.Trace.Record(trace.Event{
-					At: sched.Now(), Kind: trace.KindFailure,
-					Node: s.ID(), Loc: s.Pos(),
-				})
-			}
+	// Always installed: the body nil-checks its consumers, and a restored
+	// world may gain a tail trace after the fact (RestoreOptions).
+	w.Injector.OnKill = func(n failure.Failable) {
+		s, ok := n.(*node.Sensor)
+		if !ok {
+			return
+		}
+		if w.inv != nil {
+			w.inv.FailureInjected(s.ID(), s.Pos())
+		}
+		if w.Trace != nil {
+			w.Trace.Record(trace.Event{
+				At: sched.Now(), Kind: trace.KindFailure,
+				Node: s.ID(), Loc: s.Pos(),
+			})
 		}
 	}
 
@@ -252,8 +268,8 @@ func New(cfg Config) (*World, error) {
 	}
 
 	// Deploy the initial sensor population.
-	deploy := rng.Split(cfg.Seed, "deploy")
-	jitter := rng.Split(cfg.Seed, "jitter")
+	deploy := split("deploy")
+	jitter := split("jitter")
 	for _, pos := range placeSensors(cfg.Deployment, cfg.NumSensors(), bounds, deploy) {
 		w.spawnSensor(pos, jitter, false, 0, geom.Point{})
 	}

@@ -121,6 +121,9 @@ type kernel interface {
 	peek() *event
 	cancel(*event) bool
 	len() int
+	// each visits every live pending event in unspecified order without
+	// perturbing the queue (checkpoint surface; see snapshot.go).
+	each(func(*event))
 }
 
 // Kernel selects a Scheduler's priority-queue implementation.

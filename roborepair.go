@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"roborepair/internal/chaos"
+	"roborepair/internal/checkpoint"
 	"roborepair/internal/core"
 	"roborepair/internal/figures"
 	"roborepair/internal/geom"
@@ -67,7 +68,45 @@ type (
 	// InvariantViolation is one detected conservation-law breach, with the
 	// simulated time and entity it was observed at.
 	InvariantViolation = invariant.Violation
+	// Snapshot is a versioned, CRC-guarded capture of the full simulator
+	// state at one instant, produced by World.Snapshot or
+	// World.RunCheckpointed and turned back into a running world by
+	// Restore.
+	Snapshot = checkpoint.Snapshot
+	// CheckpointOptions configures World.RunCheckpointed: how often to
+	// snapshot and what to do with each snapshot.
+	CheckpointOptions = scenario.CheckpointOptions
+	// RestoreOptions tunes RestoreOpts; TailTraceCapacity attaches a fresh
+	// trace ring to the restored world so the continuation can be replayed
+	// with full event logging.
+	RestoreOptions = scenario.RestoreOptions
 )
+
+// ErrReplayDiverged reports that a snapshot failed Restore's byte-level
+// verification: the deterministic replay of its embedded configuration
+// did not reproduce the snapshotted state, so the file is corrupt,
+// tampered with, or from an incompatible build.
+var ErrReplayDiverged = scenario.ErrReplayDiverged
+
+// Restore rebuilds a running world from a snapshot by deterministic
+// fast-forward replay, verifying byte-for-byte that the replayed state
+// matches the snapshot before returning. The continuation is
+// bit-identical to the uninterrupted run.
+func Restore(snap *Snapshot) (*World, error) { return scenario.Restore(snap) }
+
+// RestoreOpts is Restore with options (e.g. a tail trace for
+// replay-from-snapshot debugging).
+func RestoreOpts(snap *Snapshot, opts RestoreOptions) (*World, error) {
+	return scenario.RestoreOpts(snap, opts)
+}
+
+// ReadSnapshot loads and CRC-checks a snapshot file written by
+// WriteSnapshot.
+func ReadSnapshot(path string) (*Snapshot, error) { return checkpoint.ReadFile(path) }
+
+// WriteSnapshot atomically writes a snapshot to path (temp file, sync,
+// rename), so a crash mid-write never clobbers the previous snapshot.
+func WriteSnapshot(path string, s *Snapshot) error { return checkpoint.WriteFile(path, s) }
 
 // ParseFaultPlan builds a fault plan from the compact semicolon-separated
 // syntax of the -fault CLI flags:
