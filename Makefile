@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke bench-telemetry telemetry-smoke invariant-smoke checkpoint-smoke fuzz-smoke cover figures validate examples clean
+.PHONY: all build test vet race bench bench-json bench-smoke bench-telemetry telemetry-smoke invariant-smoke checkpoint-smoke ftdc-smoke fuzz-smoke cover figures validate examples clean
 
 all: build vet test
 
@@ -26,14 +26,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark record for the per-PR perf ratchet (see
-# DESIGN.md §12.5): runs the end-to-end throughput bench plus the kernel
-# and radio microbenches, and writes the parsed metrics to BENCH_PR7.json.
+# DESIGN.md §12.5): runs the end-to-end throughput bench (bare and with
+# the flight recorder armed) plus the kernel and radio microbenches, and
+# writes the parsed metrics to BENCH_PR8.json.
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$' -benchmem -benchtime 3x . ; \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$|BenchmarkSimulatorThroughputFTDC' -benchmem -benchtime 3x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSchedulerHotLoop|BenchmarkSchedulerChurn' -benchmem ./internal/sim ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkNeighborsDense|BenchmarkMediumBroadcast$$' -benchmem ./internal/radio ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
-	@echo "wrote BENCH_PR7.json"
+	| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+	@echo "wrote BENCH_PR8.json"
 
 # Fast allocation check on the hot-path benchmarks only (seconds, not
 # minutes): scheduler churn, medium broadcast, end-to-end throughput.
@@ -41,11 +42,12 @@ bench-json:
 # banked number fails the build.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerChurn|BenchmarkMediumBroadcast$$|BenchmarkMediumUnicast' -benchtime 1000x ./internal/sim ./internal/radio
-	{ $(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$' -benchmem -benchtime 2x . ; \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$|BenchmarkSimulatorThroughputFTDC' -benchmem -benchtime 2x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSchedulerChurn' -benchmem -benchtime 100000x ./internal/sim ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkNeighborsDense|BenchmarkMediumBroadcast$$' -benchmem -benchtime 10000x ./internal/radio ; } \
 	| $(GO) run ./cmd/benchjson -o /dev/null \
 		-ceiling 'BenchmarkSimulatorThroughput=allocs/op<=210000' \
+		-ceiling 'BenchmarkSimulatorThroughputFTDC=allocs/op<=212000' \
 		-ceiling 'BenchmarkSchedulerChurn=allocs/op<=0' \
 		-ceiling 'BenchmarkNeighborsDense=allocs/op<=0' \
 		-ceiling 'BenchmarkMediumBroadcast=allocs/op<=0'
@@ -85,26 +87,42 @@ checkpoint-smoke:
 	$(GO) test -run 'TestCheckpointRestoreDifferential|TestRestoreRejectsTamperedSnapshot' ./internal/scenario
 	$(GO) test -run 'TestSweepKillMinusNineResume' ./cmd/sweep
 
+# Flight-recorder gate: the codec and wiring tests, then an end-to-end
+# record → verify → decode → diff pass through the CLIs. Two same-seed
+# runs must produce byte-identical recordings (ftdcdump -diff exits
+# nonzero otherwise), and -verify enforces the canonical-form property
+# (decode → re-encode byte-identical) on a real capture.
+ftdc-smoke:
+	$(GO) test ./internal/ftdc
+	$(GO) test -run 'TestRecorder|TestTelemetryDropped' ./internal/scenario
+	$(GO) run ./cmd/repairsim -alg dynamic -simtime 4000 -ftdc /tmp/roborepair-a.ftdc > /dev/null
+	$(GO) run ./cmd/repairsim -alg dynamic -simtime 4000 -ftdc /tmp/roborepair-b.ftdc > /dev/null
+	$(GO) run ./cmd/ftdcdump -verify /tmp/roborepair-a.ftdc
+	$(GO) run ./cmd/ftdcdump -diff /tmp/roborepair-a.ftdc /tmp/roborepair-b.ftdc
+	$(GO) run ./cmd/ftdcdump /tmp/roborepair-a.ftdc
+
 # Native fuzz smoke: 30 s per target over the checked-in seed corpora.
 # The chaos target guards the fault-plan DSL round trip, the wire targets
 # the binary codec's canonical-form property and the frame decoder's
 # never-panic/never-wrongly-accept property under arbitrary mutation, and
 # the kernel target drives the ladder and heap schedulers through random
-# op sequences asserting identical fire traces. The snapshot target
-# mutates encoded checkpoints asserting the decoder never panics and
-# anything it accepts re-encodes canonically.
+# op sequences asserting identical fire traces. The snapshot and ftdc
+# targets mutate encoded checkpoints/recordings asserting the decoders
+# never panic and anything they accept re-encodes canonically.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzChaosParse -fuzztime 30s ./internal/chaos
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzFrameCorrupt -fuzztime 30s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzKernelOps -fuzztime 30s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz FuzzFTDCDecode -fuzztime 30s ./internal/ftdc
 
 # Coverage gate: the simulation kernel, the scenario layer, the
-# invariant checker, and the wire codec (the hostile channel's attack
-# surface) must each stay at or above 80% statement coverage.
+# invariant checker, the wire codec (the hostile channel's attack
+# surface), and the flight-recorder codec must each stay at or above 80%
+# statement coverage.
 cover:
-	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant ./internal/wire; do \
+	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant ./internal/wire ./internal/ftdc; do \
 		out=$$($(GO) test -cover $$pkg | tee /dev/stderr); \
 		pct=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
 		ok=$$(echo "$$pct 80" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \

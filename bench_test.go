@@ -232,6 +232,25 @@ func BenchmarkSimulatorThroughputTelemetry(b *testing.B) {
 	b.ReportMetric(simTime*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
 }
 
+// BenchmarkSimulatorThroughputFTDC is the same workload with the flight
+// recorder armed — the always-on capture path. Compare against
+// BenchmarkSimulatorThroughput: the target is ≤2% wall clock and
+// setup-only allocations (the recorder preallocates its column buffers
+// and appends allocation-free; only chunk flushes add a handful).
+func BenchmarkSimulatorThroughputFTDC(b *testing.B) {
+	const simTime = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(roborepair.Dynamic, 16, int64(i+1))
+		cfg.SimTime = simTime
+		cfg.Recorder.Enabled = true
+		if _, err := roborepair.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(simTime*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+}
+
 // BenchmarkSimulatorThroughputInvariants is the same workload with the
 // conservation-law checker on (kernel audit, radio auditor, kinematics,
 // per-site lifecycle tracking). Compare against

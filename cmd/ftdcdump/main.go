@@ -1,0 +1,109 @@
+// Command ftdcdump decodes flight-recorder captures (.ftdc) written by
+// the simulator's always-on black box: per-run recordings from
+// `repairsim -ftdc`, grid anomaly dumps from `sweep -ftdc`, and the
+// violation recordings banked by invck. The decoder is strict — torn,
+// corrupted, or non-canonical files are rejected, never partially
+// rendered.
+//
+// Usage:
+//
+//	ftdcdump run.ftdc                # human summary: schema + per-column stats
+//	ftdcdump -csv run.ftdc           # full time series as CSV
+//	ftdcdump -prom run.ftdc         # final sample as Prometheus gauges
+//	ftdcdump -verify run.ftdc       # strict decode + byte-identical re-encode check
+//	ftdcdump -diff a.ftdc b.ftdc    # column-by-column diff of two recordings
+//
+// -diff exits nonzero when the recordings differ, so it doubles as a
+// determinism check between two runs of the same configuration.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"roborepair/internal/ftdc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftdcdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftdcdump", flag.ContinueOnError)
+	csvOut := fs.Bool("csv", false, "render the full time series as CSV")
+	promOut := fs.Bool("prom", false, "render the final sample as Prometheus gauges")
+	verify := fs.Bool("verify", false, "decode strictly and check the re-encode is byte-identical")
+	diff := fs.Bool("diff", false, "diff two recordings column by column")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	modes := 0
+	for _, m := range []bool{*csvOut, *promOut, *verify, *diff} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("pick one of -csv, -prom, -verify, -diff")
+	}
+	paths := fs.Args()
+	if *diff {
+		if len(paths) != 2 {
+			return fmt.Errorf("-diff needs exactly two recordings, got %d", len(paths))
+		}
+		a, err := ftdc.ReadFile(paths[0])
+		if err != nil {
+			return fmt.Errorf("%s: %w", paths[0], err)
+		}
+		b, err := ftdc.ReadFile(paths[1])
+		if err != nil {
+			return fmt.Errorf("%s: %w", paths[1], err)
+		}
+		ds := ftdc.Diff(a, b)
+		if len(ds) == 0 {
+			fmt.Fprintf(out, "recordings identical: %d rows × %d cols\n", a.NumRows(), len(a.Schema.Cols))
+			return nil
+		}
+		for _, d := range ds {
+			fmt.Fprintln(out, d.String())
+		}
+		return fmt.Errorf("%d columns differ", len(ds))
+	}
+	if len(paths) != 1 {
+		return fmt.Errorf("need exactly one recording, got %d", len(paths))
+	}
+	path := paths[0]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rec, err := ftdc.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case *verify:
+		re, err := ftdc.Encode(rec)
+		if err != nil {
+			return fmt.Errorf("%s: re-encode: %w", path, err)
+		}
+		if !bytes.Equal(raw, re) {
+			return fmt.Errorf("%s: decode→encode is not byte-identical (%d vs %d bytes)", path, len(raw), len(re))
+		}
+		fmt.Fprintf(out, "%s: ok: %d rows × %d cols, %d bytes, canonical\n",
+			path, rec.NumRows(), len(rec.Schema.Cols), len(raw))
+		return nil
+	case *csvOut:
+		return ftdc.WriteCSV(out, rec)
+	case *promOut:
+		return ftdc.WritePrometheus(out, rec)
+	default:
+		return ftdc.WriteSummary(out, rec)
+	}
+}

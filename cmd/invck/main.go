@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"roborepair"
@@ -25,6 +26,7 @@ import (
 	"roborepair/internal/chaos"
 	"roborepair/internal/checkpoint"
 	"roborepair/internal/core"
+	"roborepair/internal/ftdc"
 	"roborepair/internal/invariant"
 	"roborepair/internal/runner"
 	"roborepair/internal/scenario"
@@ -173,6 +175,21 @@ func replayFirstViolation(results []runner.Result, dir string, simtime float64) 
 			"invck: first violation at %v (%s); snapshot at t=%.0f banked in %s; replayed tail:\n",
 			v.At, v.Law, snap.T, path)
 		fmt.Fprint(os.Stderr, w.Trace.Render(40))
+		// Bank the flight recording leading into the breach alongside the
+		// snapshot: re-run the same deterministic configuration with the
+		// recorder armed, stopping just past the violation.
+		rcfg := r.Job.Config
+		rcfg.Recorder = ftdc.Config{Enabled: true}
+		rw, err := scenario.New(rcfg)
+		if err != nil {
+			return err
+		}
+		rw.Sched.Run(v.At.Add(1))
+		fpath := strings.TrimSuffix(path, ".ckpt") + ".ftdc"
+		if err := rw.Recorder.WriteFile(fpath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "invck: flight recording through the breach banked in %s (decode with ftdcdump)\n", fpath)
 		return nil
 	}
 	return nil

@@ -16,6 +16,11 @@
 //	repairsim -alg dynamic -checkpoint run.ckpt -checkpoint-every 8000
 //	repairsim -restore run.ckpt
 //	repairsim -restore run.ckpt -tail-trace 200   # print the continuation's events
+//
+// Flight recording: -ftdc arms the always-on black box and writes the
+// whole run's compact binary time series, decodable with ftdcdump:
+//
+//	repairsim -alg dynamic -ftdc run.ftdc && ftdcdump run.ftdc
 package main
 
 import (
@@ -62,6 +67,7 @@ func run(args []string) error {
 	prom := fs.String("prom", "", "write metrics in Prometheus text format to this file (implies -telemetry)")
 	timeseries := fs.String("timeseries", "", "write the gauge time series to this CSV file (implies -telemetry)")
 	chromeTrace := fs.String("chrome-trace", "", "write a Chrome trace_event JSON to this file, for chrome://tracing or ui.perfetto.dev (implies -telemetry)")
+	ftdcPath := fs.String("ftdc", "", "write the run's flight-recorder capture (compact binary time series) to this file; decode with ftdcdump")
 	verbose := fs.Bool("v", false, "dump the full metrics registry")
 	asJSON := fs.Bool("json", false, "emit results as JSON")
 	ckptPath := fs.String("checkpoint", "", "snapshot the full simulator state to this file periodically (atomic replace; the file holds the latest snapshot)")
@@ -75,6 +81,7 @@ func run(args []string) error {
 		*telemetryOn = true
 	}
 	cfg.Telemetry.Enabled = *telemetryOn
+	cfg.Recorder.Enabled = *ftdcPath != ""
 	if *chromeTrace != "" && cfg.TraceCapacity == 0 {
 		cfg.TraceCapacity = -1 // the exporter needs the full causal log
 	}
@@ -141,6 +148,16 @@ func run(args []string) error {
 	}
 	if err := export(w, res, *prom, *timeseries, *chromeTrace); err != nil {
 		return err
+	}
+	if *ftdcPath != "" {
+		if res.Recording == nil {
+			// Reachable only via -restore from a snapshot taken without the
+			// recorder armed: the configuration comes from the snapshot.
+			return fmt.Errorf("-ftdc: the restored run was not recording")
+		}
+		if err := res.Recording.WriteFile(*ftdcPath); err != nil {
+			return err
+		}
 	}
 	if len(res.Violations) > 0 {
 		for _, v := range res.Violations {

@@ -26,6 +26,12 @@
 //	sweep -seeds 32 -journal grid.journal -checkpoint-dir ckpt -checkpoint-every 4000
 //	# ... killed ...
 //	sweep -seeds 32 -journal grid.journal -checkpoint-dir ckpt -checkpoint-every 4000 -resume
+//
+// Anomaly triage: -ftdc arms a bounded black-box flight recorder on every
+// run; any run that panics or violates invariants leaves a compact .ftdc
+// dump of its last samples, decodable offline with ftdcdump:
+//
+//	sweep -seeds 8 -invariants -ftdc dumps/
 package main
 
 import (
@@ -77,6 +83,7 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "require -journal to already exist and resume it (error when absent)")
 	ckptDir := fs.String("checkpoint-dir", "", "snapshot each running job's simulator state into this directory (with -checkpoint-every)")
 	ckptEvery := fs.Float64("checkpoint-every", 0, "per-job snapshot period in simulated seconds (0 = no mid-job snapshots)")
+	ftdcDir := fs.String("ftdc", "", "arm black-box flight recording on every run; runs that panic or violate invariants dump job-NNNNNN.ftdc here (decode with ftdcdump)")
 	kernel := fs.String("kernel", "", "event-queue kernel: ladder (default) or heap")
 	scale := fs.Int("scale", 1, "multiply sensors-per-robot by this factor, growing the field to keep density (stress runs)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
@@ -145,7 +152,7 @@ func run(args []string) error {
 		}
 	}
 
-	ropts := runner.Options{Procs: *procs, CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery}
+	ropts := runner.Options{Procs: *procs, CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, FTDCDir: *ftdcDir}
 	if *progress {
 		ropts.Progress = runner.ProgressWriter(os.Stderr)
 		ropts.ProgressEvery = 250 * time.Millisecond
@@ -182,11 +189,23 @@ func run(args []string) error {
 		ropts.Journal = j
 	}
 	results, st, err := runner.Run(jobs, ropts)
+	if st.FTDCDumps > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d anomalous runs dumped flight recordings to %s (decode with ftdcdump)\n",
+			st.FTDCDumps, *ftdcDir)
+	}
 	if err != nil {
 		return err
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, st.String())
+	}
+	dropped := 0
+	for _, r := range results {
+		dropped += r.Res.TelemetryDropped
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: warning: %d telemetry samples lost to ring eviction; "+
+			"the -timeseries CSV is truncated — sample less often (-sample-every)\n", dropped)
 	}
 	if *timeseries != "" {
 		if err := writeTimeSeries(*timeseries, *param, results); err != nil {

@@ -60,6 +60,7 @@ const (
 	SecChaos     SectionID = 8  // fault-plan dynamic state (corrupter capture ring)
 	SecMetrics   SectionID = 9  // metrics registry counters and accumulators
 	SecTelemetry SectionID = 10 // telemetry histograms and sampler ring positions
+	SecFTDC      SectionID = 11 // flight recorder chunks and pending sample tail
 )
 
 // String names the section for diagnostics.
@@ -85,6 +86,8 @@ func (id SectionID) String() string {
 		return "metrics"
 	case SecTelemetry:
 		return "telemetry"
+	case SecFTDC:
+		return "ftdc"
 	default:
 		return fmt.Sprintf("section(%d)", uint16(id))
 	}

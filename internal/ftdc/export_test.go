@@ -1,0 +1,153 @@
+package ftdc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := &Recording{
+		Schema: Schema{Cols: []string{"t_s", "v"}},
+		Chunks: []Chunk{{Rows: 2, Cols: [][]float64{{0, 250}, {1, 2.5}}}},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_s,v\n0,1\n250,2.5\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := testRecording()
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE roborepair_t_s gauge",
+		"roborepair_t_s 64000",
+		"# TYPE roborepair_counter gauge",
+		"# TYPE roborepair_flat gauge",
+		"roborepair_flat 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	var empty strings.Builder
+	if err := WritePrometheus(&empty, &Recording{Schema: Schema{Cols: []string{"a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty recording produced output %q", empty.String())
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSummary(&sb, testRecording()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"4 columns, 257 samples in 3 chunks", "seed=42", "period=250s", "counter", "noise"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := &Recording{
+		Schema: Schema{Cols: []string{"v"}},
+		Chunks: []Chunk{
+			{Rows: 2, Cols: [][]float64{{4, -2}}},
+			{Rows: 1, Cols: [][]float64{{10}}},
+		},
+	}
+	st := r.Stats()[0]
+	if st.Min != -2 || st.Max != 10 || st.Mean != 4 || st.First != 4 || st.Last != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := &Recording{
+		Schema: Schema{Cols: []string{"x", "y"}},
+		Chunks: []Chunk{{Rows: 3, Cols: [][]float64{{1, 2, 3}, {0, 0, 0}}}},
+	}
+	if d := Diff(a, a); len(d) != 0 {
+		t.Fatalf("self-diff nonempty: %v", d)
+	}
+	b := &Recording{
+		Schema: Schema{Cols: []string{"x", "z"}},
+		Chunks: []Chunk{{Rows: 3, Cols: [][]float64{{1, 5, 3}, {0, 0, 0}}}},
+	}
+	ds := Diff(a, b)
+	byName := map[string]ColumnDiff{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["x"]; d.Rows != 1 || d.FirstRow != 1 || d.MaxAbs != 3 {
+		t.Fatalf("diff x = %+v", d)
+	}
+	if d := byName["y"]; d.OnlyIn != "a" {
+		t.Fatalf("diff y = %+v", d)
+	}
+	if d := byName["z"]; d.OnlyIn != "b" {
+		t.Fatalf("diff z = %+v", d)
+	}
+	if !strings.Contains(byName["x"].String(), "1 rows differ") ||
+		!strings.Contains(byName["y"].String(), "only in a") {
+		t.Fatalf("diff strings: %v / %v", byName["x"], byName["y"])
+	}
+}
+
+func TestDiffRowCountMismatch(t *testing.T) {
+	a := &Recording{
+		Schema: Schema{Cols: []string{"x"}},
+		Chunks: []Chunk{{Rows: 2, Cols: [][]float64{{1, 2}}}},
+	}
+	b := &Recording{
+		Schema: Schema{Cols: []string{"x"}},
+		Chunks: []Chunk{{Rows: 3, Cols: [][]float64{{1, 2, 9}}}},
+	}
+	ds := Diff(a, b)
+	if len(ds) != 1 || ds[0].Name != "(rows)" || ds[0].Rows != 1 {
+		t.Fatalf("diff = %v", ds)
+	}
+}
+
+// shortWriter fails after n bytes, exercising the sticky-error path.
+type shortWriter struct{ n int }
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.n <= 0 {
+		return 0, errors.New("short write")
+	}
+	if len(p) > s.n {
+		n := s.n
+		s.n = 0
+		return n, errors.New("short write")
+	}
+	s.n -= len(p)
+	return len(p), nil
+}
+
+func TestExportersPropagateWriteErrors(t *testing.T) {
+	r := testRecording()
+	if err := WriteCSV(&shortWriter{n: 3}, r); err == nil {
+		t.Error("WriteCSV swallowed write error")
+	}
+	if err := WritePrometheus(&shortWriter{n: 3}, r); err == nil {
+		t.Error("WritePrometheus swallowed write error")
+	}
+	if err := WriteSummary(&shortWriter{n: 3}, r); err == nil {
+		t.Error("WriteSummary swallowed write error")
+	}
+}

@@ -1,0 +1,46 @@
+package ftdc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzFTDCDecode drives the recording decoder with arbitrary mutations of
+// valid captures, asserting the two defensive-codec properties the rest
+// of the repo's binary formats also guarantee: the decoder never panics,
+// and anything it accepts re-encodes byte-identically (canonical form).
+func FuzzFTDCDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RRFD"))
+	if b, err := Encode(testRecording()); err == nil {
+		f.Add(b)
+	}
+	small := &Recording{
+		Schema: Schema{Cols: []string{"t_s", "v"}, PeriodS: 250, Seed: 3},
+		Chunks: []Chunk{{Rows: 3, Cols: [][]float64{{0, 250, 500}, {1, 1, 2}}}},
+	}
+	if b, err := Encode(small); err == nil {
+		f.Add(b)
+	}
+	floaty := &Recording{
+		Schema: Schema{Cols: []string{"f"}},
+		Chunks: []Chunk{{Rows: 4, Cols: [][]float64{{0.5, math.NaN(), math.Inf(1), -0.0}}}},
+	}
+	if b, err := Encode(floaty); err == nil {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(rec)
+		if err != nil {
+			t.Fatalf("accepted recording does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted recording re-encodes differently:\n in: %x\nout: %x", data, re)
+		}
+	})
+}

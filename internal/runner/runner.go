@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"roborepair/internal/checkpoint"
+	"roborepair/internal/ftdc"
 	"roborepair/internal/scenario"
 	"roborepair/internal/sim"
 )
@@ -75,6 +76,10 @@ type Stats struct {
 	PanicRecoveries int
 	// FirstPanic is the first recovered panic's message, "" when none.
 	FirstPanic string
+	// FTDCDumps is the number of flight-recorder dumps written to
+	// Options.FTDCDir (one per job that panicked or finished with
+	// invariant violations).
+	FTDCDumps int
 }
 
 // Utilization reports the fraction of worker-time spent running
@@ -139,19 +144,40 @@ type Options struct {
 	CheckpointDir string
 	// CheckpointEvery is the per-job snapshot period in simulated seconds.
 	CheckpointEvery float64
+	// FTDCDir, when set, arms black-box flight recording on every job and
+	// dumps the retained recording to FTDCDir/job-NNNNNN.ftdc when that
+	// job panics or finishes with invariant violations. Jobs whose
+	// configs already enable recording keep their own settings; the rest
+	// are armed in bounded last-N-chunk retention mode, which does not
+	// perturb results (the recorder only reads simulation state). Clean
+	// jobs leave no file behind.
+	FTDCDir string
 }
+
+// blackBoxKeep bounds runner-armed flight recording: only the last
+// blackBoxKeep encoded chunks (plus the pending tail) stay in memory,
+// so arming a whole grid costs a few KiB per in-flight job regardless
+// of horizon.
+const blackBoxKeep = 4
 
 // runJob executes one configuration; swappable so tests can inject
 // failing or panicking jobs without a panicking scenario config.
 var runJob = scenario.Run
 
+// runWorld drives a built world to completion. It exists (and is
+// swappable) so tests can inject a mid-run panic or synthetic invariant
+// violations on the flight-recorder path, where the recorder pointer
+// must be captured before the run starts.
+var runWorld = func(w *scenario.World) scenario.Results { return w.Run() }
+
 // runOutcome is runOne's full report: the run result plus how it got there.
 type runOutcome struct {
-	res      scenario.Results
-	err      error
-	panicked bool
-	resumed  bool // continued from a valid on-disk checkpoint
-	rejected bool // a checkpoint file existed but failed decode/verify
+	res        scenario.Results
+	err        error
+	panicked   bool
+	resumed    bool // continued from a valid on-disk checkpoint
+	rejected   bool // a checkpoint file existed but failed decode/verify
+	ftdcDumped bool // flight recording written on panic/violation
 }
 
 // runOne runs a single job, converting a panic into an ordinary error so
@@ -159,16 +185,43 @@ type runOutcome struct {
 // worker goroutine, which would deadlock the WaitGroup). With a checkpoint
 // path the job first tries to restore from an existing snapshot — falling
 // back to a full run if the file is missing, torn, or fails replay
-// verification — and snapshots periodically while running.
-func runOne(cfg scenario.Config, ckptPath string, every float64) (out runOutcome) {
+// verification — and snapshots periodically while running. With an FTDC
+// path, black-box recording is armed and the retained window is written
+// out if the job panics or finishes with invariant violations; the
+// recorder pointer is captured before the run so the dump survives a
+// panic that never returns Results.
+func runOne(cfg scenario.Config, ckptPath string, every float64, ftdcPath string) (out runOutcome) {
+	var rec *ftdc.Recorder
 	defer func() {
 		if r := recover(); r != nil {
 			out.panicked = true
 			out.err = fmt.Errorf("runner: job panicked: %v", r)
 		}
+		if ftdcPath == "" || rec == nil {
+			return
+		}
+		if !out.panicked && len(out.res.Violations) == 0 {
+			return
+		}
+		if err := rec.WriteFile(ftdcPath); err == nil {
+			out.ftdcDumped = true
+		}
 	}()
+	if ftdcPath != "" && !cfg.Recorder.Enabled {
+		cfg.Recorder = ftdc.Config{Enabled: true, KeepChunks: blackBoxKeep}
+	}
 	if ckptPath == "" {
-		out.res, out.err = runJob(cfg)
+		if ftdcPath == "" {
+			out.res, out.err = runJob(cfg)
+			return out
+		}
+		w, err := scenario.New(cfg)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		rec = w.Recorder
+		out.res = runWorld(w)
 		return out
 	}
 	opts := scenario.CheckpointOptions{
@@ -180,6 +233,7 @@ func runOne(cfg scenario.Config, ckptPath string, every float64) (out runOutcome
 	if snap, err := checkpoint.ReadFile(ckptPath); err == nil {
 		if w, rerr := scenario.Restore(snap); rerr == nil {
 			out.resumed = true
+			rec = w.Recorder
 			out.res, out.err = w.RunCheckpointed(opts)
 			return out
 		}
@@ -192,6 +246,7 @@ func runOne(cfg scenario.Config, ckptPath string, every float64) (out runOutcome
 		out.err = err
 		return out
 	}
+	rec = w.Recorder
 	out.res, out.err = w.RunCheckpointed(opts)
 	return out
 }
@@ -243,10 +298,22 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 		}
 		return filepath.Join(opts.CheckpointDir, fmt.Sprintf("job-%06d.ckpt", i))
 	}
+	ftdcPath := func(i int) string {
+		if opts.FTDCDir == "" {
+			return ""
+		}
+		return filepath.Join(opts.FTDCDir, fmt.Sprintf("job-%06d.ftdc", i))
+	}
+	if opts.FTDCDir != "" {
+		if err := os.MkdirAll(opts.FTDCDir, 0o755); err != nil {
+			return nil, Stats{}, fmt.Errorf("runner: ftdc dir: %w", err)
+		}
+	}
 
 	// Shared robustness accounting, guarded by mu with OnResult/Progress.
 	var (
 		resumed, rejected, panics int
+		ftdcDumps                 int
 		firstPanic                string
 		journalErr                error
 	)
@@ -267,7 +334,7 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 				}
 				path := ckptPath(i)
 				runStart := time.Now()
-				out := runOne(jobs[i].Config, path, opts.CheckpointEvery)
+				out := runOne(jobs[i].Config, path, opts.CheckpointEvery, ftdcPath(i))
 				busy[worker].Add(int64(time.Since(runStart)))
 				r := Result{Index: i, Job: jobs[i], Res: out.res, Err: out.err}
 				results[i] = r
@@ -287,6 +354,9 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 					if firstPanic == "" {
 						firstPanic = out.err.Error()
 					}
+				}
+				if out.ftdcDumped {
+					ftdcDumps++
 				}
 				if opts.Journal != nil {
 					if err := opts.Journal.record(r); err != nil && journalErr == nil {
@@ -310,7 +380,7 @@ func Run(jobs []Job, opts Options) ([]Result, Stats, error) {
 	stats := Stats{
 		Runs: len(jobs), Procs: procs, Wall: time.Since(start), WorkerBusy: workerBusy,
 		Skipped: nSkipped, Resumed: resumed, SnapshotsRejected: rejected,
-		PanicRecoveries: panics, FirstPanic: firstPanic,
+		PanicRecoveries: panics, FirstPanic: firstPanic, FTDCDumps: ftdcDumps,
 	}
 	var errs []error
 	if journalErr != nil {

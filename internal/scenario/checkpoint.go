@@ -57,6 +57,7 @@ func (w *World) Snapshot() (*checkpoint.Snapshot, error) {
 	add(checkpoint.SecChaos, w.corrupter.AppendState(nil))
 	add(checkpoint.SecMetrics, w.Registry.AppendState(nil))
 	add(checkpoint.SecTelemetry, w.Telemetry.AppendState(nil))
+	add(checkpoint.SecFTDC, w.Recorder.AppendState(nil))
 	return snap, nil
 }
 

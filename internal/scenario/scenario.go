@@ -11,6 +11,7 @@ import (
 	"roborepair/internal/chaos"
 	"roborepair/internal/core"
 	"roborepair/internal/failure"
+	"roborepair/internal/ftdc"
 	"roborepair/internal/geom"
 	"roborepair/internal/invariant"
 	"roborepair/internal/metrics"
@@ -122,6 +123,14 @@ type Config struct {
 	// exporters. The zero value disables it entirely and reproduces the
 	// untelemetered simulator's behavior and allocations bit-for-bit.
 	Telemetry telemetry.Config `json:"telemetry,omitempty"`
+	// Recorder enables the FTDC-style flight recorder: a compact,
+	// columnar, delta-encoded binary capture of the simulation's vital
+	// signs (backlogs, queue depths, counters, invariant and chaos
+	// markers), cheap enough to arm on every run. The recording lands in
+	// Results.Recording; decode it with internal/ftdc or cmd/ftdcdump.
+	// The zero value disables it entirely and reproduces the unrecorded
+	// simulator's behavior and allocations bit-for-bit.
+	Recorder ftdc.Config `json:"recorder,omitempty"`
 	// Invariants enables the runtime conservation-law checker: kernel
 	// clock/free-list audits, failure-lifecycle conservation, robot
 	// kinematics, radio unit-disk accounting, reliability-protocol sanity.
@@ -248,6 +257,9 @@ func (c Config) Validate() error {
 	if err := c.Telemetry.Validate(); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	if err := c.Recorder.Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	if err := c.Invariants.Validate(); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
@@ -333,6 +345,17 @@ type Results struct {
 	// Telemetry holds the run's collector — histograms and the sampled
 	// time series — when Config.Telemetry is enabled; nil otherwise.
 	Telemetry *telemetry.Collector `json:"-"`
+
+	// TelemetryDropped counts samples the telemetry ring evicted to make
+	// room (Sampler.Dropped()): the retained CSV window silently starts
+	// that many samples late. Zero when telemetry is off or the ring held
+	// everything; surface it instead of truncating quietly.
+	TelemetryDropped int `json:"telemetryDropped,omitempty"`
+
+	// Recording holds the run's flight recorder when Config.Recorder is
+	// enabled; nil otherwise. Recording.Bytes() renders the capture;
+	// Recording.WriteFile banks it.
+	Recording *ftdc.Recorder `json:"-"`
 
 	// Violations lists the conservation-law breaches the invariant layer
 	// detected, in detection order; empty on clean runs and always nil

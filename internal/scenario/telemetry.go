@@ -69,35 +69,11 @@ func (w *World) startTelemetry() error {
 
 	// Gauges read only deterministic simulation state, so sampled series
 	// are identical whatever the surrounding experiment's worker count.
-	c.Gauge(GaugePendingFailures, func() float64 {
-		pending := w.Injector.Killed() - w.repairs
-		if pending < 0 {
-			pending = 0
-		}
-		return float64(pending)
-	})
-	c.Gauge(GaugeRobotQueueDepth, func() float64 {
-		depth := 0
-		for _, r := range w.Robots {
-			depth += r.QueueLen()
-			if r.Busy() {
-				depth++
-			}
-		}
-		return float64(depth)
-	})
-	c.Gauge(GaugeInflightReports, func() float64 {
-		// Map iteration order varies, but a sum of ints is commutative, so
-		// the reading is deterministic.
-		inflight := 0
-		for _, s := range w.Sensors {
-			inflight += s.PendingReports()
-		}
-		return float64(inflight)
-	})
-	c.Gauge(GaugeEventQueueDepth, func() float64 {
-		return float64(w.Sched.Pending())
-	})
+	// The bodies are shared with the flight recorder (see ftdc.go).
+	c.Gauge(GaugePendingFailures, w.gaugePendingFailures)
+	c.Gauge(GaugeRobotQueueDepth, w.gaugeRobotQueueDepth)
+	c.Gauge(GaugeInflightReports, w.gaugeInflightReports)
+	c.Gauge(GaugeEventQueueDepth, w.gaugeEventQueueDepth)
 	var lastFired uint64
 	c.Gauge(GaugeEventsPerSimSec, func() float64 {
 		fired := w.Sched.Fired()

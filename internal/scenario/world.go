@@ -8,6 +8,7 @@ import (
 	"roborepair/internal/core"
 	"roborepair/internal/coverage"
 	"roborepair/internal/failure"
+	"roborepair/internal/ftdc"
 	"roborepair/internal/geom"
 	"roborepair/internal/invariant"
 	"roborepair/internal/metrics"
@@ -35,6 +36,7 @@ type World struct {
 	Injector  *failure.Injector
 	Trace     *trace.Log           // non-nil only when Config.TraceCapacity != 0
 	Telemetry *telemetry.Collector // non-nil only when Config.Telemetry.Enabled
+	Recorder  *ftdc.Recorder       // non-nil only when Config.Recorder.Enabled
 
 	nextID radio.NodeID
 	policy node.Policy
@@ -449,6 +451,11 @@ func New(cfg Config) (*World, error) {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 	}
+	if cfg.Recorder.Enabled {
+		if err := w.startRecorder(); err != nil {
+			return nil, err
+		}
+	}
 	return w, nil
 }
 
@@ -725,6 +732,10 @@ func (w *World) results() Results {
 	if w.inv != nil {
 		res.Violations = w.inv.Violations()
 	}
+	if w.Telemetry != nil {
+		res.TelemetryDropped = w.Telemetry.Sampler().Dropped()
+	}
+	res.Recording = w.Recorder
 	return res
 }
 

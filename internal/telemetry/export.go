@@ -92,6 +92,10 @@ func WritePrometheus(w io.Writer, reg *metrics.Registry, c *Collector) error {
 				bw.printf("%s %s\n", name, promFloat(v))
 			}
 		}
+		// Ring-eviction losses: nonzero means the retained time-series
+		// window is truncated (telemetryck warns on it).
+		bw.printf("# TYPE roborepair_telemetry_dropped_rows_total counter\n")
+		bw.printf("roborepair_telemetry_dropped_rows_total %d\n", c.sampler.Dropped())
 	}
 	return bw.err
 }

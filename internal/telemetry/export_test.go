@@ -2,6 +2,9 @@ package telemetry
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"regexp"
 	"strings"
 	"testing"
@@ -119,5 +122,106 @@ func TestWriteTimeSeriesCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "dynamic,3,0,") {
 		t.Fatalf("prefixed row = %q", lines[1])
+	}
+}
+
+// failAfter accepts budget bytes, then short-writes with an error — the
+// adversarial sink for exporter error-path coverage.
+type failAfter struct {
+	budget int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if len(p) <= f.budget {
+		f.budget -= len(p)
+		return len(p), nil
+	}
+	n := f.budget
+	f.budget = 0
+	return n, errors.New("sink full")
+}
+
+// TestExportersPropagateWriteErrors: a failing writer must surface as the
+// exporter's returned error wherever mid-stream the failure lands — the
+// sticky errWriter must not swallow short writes.
+func TestExportersPropagateWriteErrors(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.CountTx(metrics.CatBeacon, 123)
+	c := buildCollector(t)
+	exporters := map[string]func(io.Writer) error{
+		"WritePrometheus":     func(w io.Writer) error { return WritePrometheus(w, reg, c) },
+		"WriteCSV":            c.WriteCSV,
+		"WriteTimeSeriesRows": func(w io.Writer) error { return WriteTimeSeriesRows(w, c.Sampler(), "") },
+		"WriteTimeSeriesHdr":  func(w io.Writer) error { return WriteTimeSeriesHeader(w, c.Sampler(), "") },
+	}
+	for name, render := range exporters {
+		var full bytes.Buffer
+		if err := render(&full); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Fail at the start, one byte in, mid-stream, and one byte short.
+		for _, budget := range []int{0, 1, full.Len() / 2, full.Len() - 1} {
+			if err := render(&failAfter{budget: budget}); err == nil {
+				t.Fatalf("%s(budget=%d of %d): error lost", name, budget, full.Len())
+			}
+		}
+		// A sink exactly large enough succeeds: the budgets above really
+		// were mid-stream failures, not size mismatches.
+		if err := render(&failAfter{budget: full.Len()}); err != nil {
+			t.Fatalf("%s exact-budget sink failed: %v", name, err)
+		}
+	}
+}
+
+// TestWriteTimeSeriesCSVZeroSamples: a collector that never sampled still
+// emits a well-formed header-only CSV.
+func TestWriteTimeSeriesCSVZeroSamples(t *testing.T) {
+	c := NewCollector(Config{Enabled: true})
+	c.Gauge("queue_depth", func() float64 { return 1 })
+	var b bytes.Buffer
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "t_s,queue_depth\n" {
+		t.Fatalf("zero-sample CSV = %q", b.String())
+	}
+}
+
+// TestWriteTimeSeriesCSVSingleSample: only the t=0 baseline sample.
+func TestWriteTimeSeriesCSVSingleSample(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := NewCollector(Config{Enabled: true, SamplePeriodS: 50})
+	c.Gauge("queue_depth", func() float64 { return 3 })
+	if err := c.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(10) // before the first post-baseline tick
+	var b bytes.Buffer
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "t_s,queue_depth\n0,3\n" {
+		t.Fatalf("single-sample CSV = %q", b.String())
+	}
+}
+
+// TestPrometheusDroppedRowsCounter: the exposition reports ring-eviction
+// losses so scrapers (and telemetryck) can detect truncated series.
+func TestPrometheusDroppedRowsCounter(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := NewCollector(Config{Enabled: true, SamplePeriodS: 50, RingCapacity: 4})
+	c.Gauge("queue_depth", func() float64 { return 1 })
+	if err := c.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(1000) // 21 samples into a 4-slot ring
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, nil, c); err != nil {
+		t.Fatal(err)
+	}
+	scrapeCheck(t, b.String())
+	want := fmt.Sprintf("roborepair_telemetry_dropped_rows_total %d", c.Sampler().Dropped())
+	if c.Sampler().Dropped() == 0 || !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q (dropped=%d):\n%s", want, c.Sampler().Dropped(), b.String())
 	}
 }

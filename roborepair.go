@@ -27,6 +27,7 @@ import (
 	"roborepair/internal/checkpoint"
 	"roborepair/internal/core"
 	"roborepair/internal/figures"
+	"roborepair/internal/ftdc"
 	"roborepair/internal/geom"
 	"roborepair/internal/invariant"
 	"roborepair/internal/runner"
@@ -61,6 +62,16 @@ type (
 	TelemetryConfig = telemetry.Config
 	// TelemetryCollector carries one run's telemetry (Results.Telemetry).
 	TelemetryCollector = telemetry.Collector
+	// RecorderConfig enables and tunes the always-on flight recorder — a
+	// compact, delta-encoded binary time series (FTDC-style) cheap enough
+	// to arm on every run — via Config.Recorder. The zero value disables
+	// it with zero overhead.
+	RecorderConfig = ftdc.Config
+	// Recorder carries one run's flight recording (Results.Recording);
+	// decode its Bytes with DecodeRecording or the ftdcdump CLI.
+	Recorder = ftdc.Recorder
+	// Recording is a decoded flight-recorder capture.
+	Recording = ftdc.Recording
 	// InvariantConfig enables the runtime conservation-law checker via
 	// Config.Invariants. The zero value disables it with zero overhead;
 	// violations surface in Results.Violations.
@@ -81,6 +92,15 @@ type (
 	// with full event logging.
 	RestoreOptions = scenario.RestoreOptions
 )
+
+// DecodeRecording decodes a flight-recorder capture — the Bytes of a
+// Results.Recording, or a .ftdc file's contents — rejecting corrupt or
+// non-canonical input.
+func DecodeRecording(b []byte) (*Recording, error) { return ftdc.Decode(b) }
+
+// ReadRecording loads and decodes a .ftdc recording file written by
+// Recorder.WriteFile or the -ftdc CLI flags.
+func ReadRecording(path string) (*Recording, error) { return ftdc.ReadFile(path) }
 
 // ErrReplayDiverged reports that a snapshot failed Restore's byte-level
 // verification: the deterministic replay of its embedded configuration
