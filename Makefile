@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke bench-telemetry telemetry-smoke invariant-smoke checkpoint-smoke ftdc-smoke fuzz-smoke cover figures validate examples clean
+.PHONY: all build test vet race bench bench-json bench-smoke bench-telemetry telemetry-smoke invariant-smoke checkpoint-smoke conformance-smoke ftdc-smoke fuzz-smoke cover figures validate examples clean
 
 all: build vet test
 
@@ -28,13 +28,13 @@ bench:
 # Machine-readable benchmark record for the per-PR perf ratchet (see
 # DESIGN.md §12.5): runs the end-to-end throughput bench (bare and with
 # the flight recorder armed) plus the kernel and radio microbenches, and
-# writes the parsed metrics to BENCH_PR8.json.
+# writes the parsed metrics to BENCH_PR9.json.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$|BenchmarkSimulatorThroughputFTDC' -benchmem -benchtime 3x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSchedulerHotLoop|BenchmarkSchedulerChurn' -benchmem ./internal/sim ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkNeighborsDense|BenchmarkMediumBroadcast$$' -benchmem ./internal/radio ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
-	@echo "wrote BENCH_PR8.json"
+	| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json"
 
 # Fast allocation check on the hot-path benchmarks only (seconds, not
 # minutes): scheduler churn, medium broadcast, end-to-end throughput.
@@ -87,6 +87,16 @@ checkpoint-smoke:
 	$(GO) test -run 'TestCheckpointRestoreDifferential|TestRestoreRejectsTamperedSnapshot' ./internal/scenario
 	$(GO) test -run 'TestSweepKillMinusNineResume' ./cmd/sweep
 
+# Cross-algorithm conformance gate: every registered algorithm × both
+# queue kernels must satisfy the registry contract — serial-vs-pool
+# determinism, snapshot→restore→continue bit-identity, zero invariant
+# violations under the burst/blackout/corrupt chaos plans, and
+# observability-off-is-absent. A newly registered algorithm is covered
+# with no test edits.
+conformance-smoke:
+	$(GO) test -run 'TestConformance' -count=1 .
+	$(GO) test ./internal/algorithm ./internal/geom
+
 # Flight-recorder gate: the codec and wiring tests, then an end-to-end
 # record → verify → decode → diff pass through the CLIs. Two same-seed
 # runs must produce byte-identical recordings (ftdcdump -diff exits
@@ -119,10 +129,10 @@ fuzz-smoke:
 
 # Coverage gate: the simulation kernel, the scenario layer, the
 # invariant checker, the wire codec (the hostile channel's attack
-# surface), and the flight-recorder codec must each stay at or above 80%
-# statement coverage.
+# surface), the flight-recorder codec, and the algorithm registry must
+# each stay at or above 80% statement coverage.
 cover:
-	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant ./internal/wire ./internal/ftdc; do \
+	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant ./internal/wire ./internal/ftdc ./internal/algorithm; do \
 		out=$$($(GO) test -cover $$pkg | tee /dev/stderr); \
 		pct=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
 		ok=$$(echo "$$pct 80" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \

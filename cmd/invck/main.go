@@ -25,7 +25,6 @@ import (
 	"roborepair/internal/analysis"
 	"roborepair/internal/chaos"
 	"roborepair/internal/checkpoint"
-	"roborepair/internal/core"
 	"roborepair/internal/ftdc"
 	"roborepair/internal/invariant"
 	"roborepair/internal/runner"
@@ -89,7 +88,7 @@ func run(args []string) error {
 	base.Reliability.Enabled = true
 	base.Invariants.Enabled = true
 
-	algs := []core.Algorithm{core.Centralized, core.Fixed, core.Dynamic}
+	algs := roborepair.Algorithms() // every registered algorithm, including extensions
 	planNames := []string{"none", "burst", "blackout", "mgr-crash", "corrupt-1", "corrupt-5", "corrupt-20"}
 	grid := plans(*simtime, base.FieldSide())
 

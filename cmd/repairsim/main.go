@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"roborepair"
 	"roborepair/internal/chaos"
 	"roborepair/internal/checkpoint"
@@ -36,6 +38,15 @@ import (
 	"roborepair/internal/sim"
 	"roborepair/internal/telemetry"
 )
+
+// algNames renders the registered algorithm names for flag help.
+func algNames() string {
+	names := make([]string, 0, 8)
+	for _, a := range roborepair.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, "|")
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -48,7 +59,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("repairsim", flag.ContinueOnError)
 	cfg := roborepair.DefaultConfig()
 
-	algName := fs.String("alg", cfg.Algorithm.String(), "algorithm: centralized|fixed|dynamic")
+	algName := fs.String("alg", cfg.Algorithm.String(), "algorithm: "+algNames())
 	fs.IntVar(&cfg.Robots, "robots", cfg.Robots, "number of maintenance robots")
 	fs.Float64Var(&cfg.SimTime, "simtime", cfg.SimTime, "simulated seconds")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")

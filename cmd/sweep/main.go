@@ -50,6 +50,15 @@ import (
 	"roborepair/internal/telemetry"
 )
 
+// algNames renders the registered algorithm names for flag help.
+func algNames() string {
+	names := make([]string, 0, 8)
+	for _, a := range roborepair.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, "|")
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -67,7 +76,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	param := fs.String("param", "robots", "robots|cargo|sensing|lifetime|threshold|loss|density")
 	values := fs.String("values", "4,9,16", "comma-separated values of the swept parameter")
-	algsFlag := fs.String("algs", "centralized,fixed,dynamic", "algorithms to sweep")
+	algsFlag := fs.String("algs", "centralized,fixed,dynamic",
+		"algorithms to sweep: comma-separated registered names, or 'all' ("+algNames()+")")
 	simtime := fs.Float64("simtime", 16000, "simulated seconds per run")
 	seeds := fs.Int("seeds", 1, "seeds per configuration")
 	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -104,12 +114,16 @@ func run(args []string) error {
 		}
 	}
 	var algs []roborepair.Algorithm
-	for _, name := range strings.Split(*algsFlag, ",") {
-		a, err := roborepair.ParseAlgorithm(strings.TrimSpace(name))
-		if err != nil {
-			return err
+	if *algsFlag == "all" {
+		algs = roborepair.Algorithms()
+	} else {
+		for _, name := range strings.Split(*algsFlag, ",") {
+			a, err := roborepair.ParseAlgorithm(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			algs = append(algs, a)
 		}
-		algs = append(algs, a)
 	}
 
 	prof, err := runner.StartProfiles(*cpuprofile, *memprofile)

@@ -20,11 +20,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"roborepair"
 	"roborepair/internal/scenario"
 	"roborepair/internal/telemetry"
 )
+
+// algNames renders the registered algorithm names for flag help.
+func algNames() string {
+	names := make([]string, 0, 8)
+	for _, a := range roborepair.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, "|")
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -36,7 +46,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tracer", flag.ContinueOnError)
 	cfg := roborepair.DefaultConfig()
-	algName := fs.String("alg", cfg.Algorithm.String(), "algorithm: centralized|fixed|dynamic")
+	algName := fs.String("alg", cfg.Algorithm.String(), "algorithm: "+algNames())
 	fs.IntVar(&cfg.Robots, "robots", cfg.Robots, "number of maintenance robots")
 	fs.Float64Var(&cfg.SimTime, "simtime", 16000, "simulated seconds")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")

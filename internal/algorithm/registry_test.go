@@ -1,0 +1,132 @@
+package algorithm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"roborepair/internal/core"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one containing %q)", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v is not a string", r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	// "centralized" is registered by this package's own init.
+	mustPanic(t, `duplicate registration of "centralized"`, func() {
+		Register("centralized", newCentralized)
+	})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	mustPanic(t, "empty name", func() {
+		Register("", newCentralized)
+	})
+}
+
+func TestRegisterNilFactoryPanics(t *testing.T) {
+	mustPanic(t, "nil factory", func() {
+		Register("nil-factory", nil)
+	})
+}
+
+func TestLookupUnknownListsRegistered(t *testing.T) {
+	_, err := Lookup("bogus")
+	if err == nil {
+		t.Fatal("Lookup(bogus) succeeded")
+	}
+	// The error must name every registered algorithm so a config typo
+	// is self-explaining.
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered algorithm %q", err, name)
+		}
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("error %q does not echo the unknown name", err)
+	}
+}
+
+func TestNamesDeterministicSorted(t *testing.T) {
+	want := []string{"centralized", "dynamic", "facility", "fixed"}
+	got := Names()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := 0; i < 8; i++ {
+		if again := Names(); !reflect.DeepEqual(again, got) {
+			t.Fatalf("Names() unstable: %v then %v", got, again)
+		}
+	}
+}
+
+func TestAllMatchesNames(t *testing.T) {
+	names := Names()
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d entries, Names() %d", len(all), len(names))
+	}
+	for i, a := range all {
+		if string(a) != names[i] {
+			t.Fatalf("All()[%d] = %q, want %q", i, a, names[i])
+		}
+	}
+}
+
+func TestLegacyConstantsResolve(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.Centralized, core.Fixed, core.Dynamic, Facility} {
+		if _, err := Lookup(string(alg)); err != nil {
+			t.Errorf("legacy constant %q no longer registered: %v", alg, err)
+		}
+		got, err := Parse(string(alg))
+		if err != nil {
+			t.Errorf("Parse(%q): %v", alg, err)
+		} else if got != alg {
+			t.Errorf("Parse(%q) = %q", alg, got)
+		}
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	if _, err := Parse("paxos"); err == nil {
+		t.Fatal("Parse(paxos) succeeded")
+	}
+}
+
+func TestFacilityParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  FacilityParams
+		ok bool
+	}{
+		{FacilityParams{}, true},
+		{FacilityParams{Objective: ObjectiveKMedian, Period: 250, Ledger: 16}, true},
+		{FacilityParams{Objective: ObjectiveKCenter}, true},
+		{FacilityParams{Objective: "steiner"}, false},
+		{FacilityParams{Period: -1}, false},
+		{FacilityParams{Ledger: -3}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c.p, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c.p)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package algorithm_test
+
+// Strategy tests drive each registered factory through the real scenario
+// pipeline (the external test package breaks the scenario → algorithm
+// import cycle), so the coverage here is of algorithms doing their job —
+// electing managers, placing robots, dispatching — not of mocks.
+
+import (
+	"strings"
+	"testing"
+
+	"roborepair/internal/algorithm"
+	"roborepair/internal/core"
+	"roborepair/internal/scenario"
+)
+
+func runCfg(name string) scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.Algorithm = core.Algorithm(name)
+	cfg.SimTime = 2000
+	cfg.MeanLifetime = 1200 // plenty of failures inside the short horizon
+	cfg.Seed = 9
+	return cfg
+}
+
+// TestEveryRegisteredStrategyRepairs: each registered algorithm, built
+// through its factory by the scenario layer, must actually repair
+// failures. Enumerates the registry, so a new registration is covered
+// automatically.
+func TestEveryRegisteredStrategyRepairs(t *testing.T) {
+	for _, name := range algorithm.Names() {
+		t.Run(name, func(t *testing.T) {
+			res, err := scenario.Run(runCfg(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FailuresInjected == 0 {
+				t.Fatal("no failures injected; the config is too tame to test anything")
+			}
+			if res.Repairs == 0 {
+				t.Fatalf("%d failures injected, none repaired", res.FailuresInjected)
+			}
+		})
+	}
+}
+
+// TestScenarioRejectsUnknownAlgorithm: an unknown Config.Algorithm must
+// fail fast at scenario.New with a message listing every registered
+// name, not deep inside construction.
+func TestScenarioRejectsUnknownAlgorithm(t *testing.T) {
+	cfg := scenario.DefaultConfig()
+	cfg.Algorithm = "simulated-annealing"
+	_, err := scenario.New(cfg)
+	if err == nil {
+		t.Fatal("scenario.New accepted an unregistered algorithm")
+	}
+	for _, name := range algorithm.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered algorithm %q", err, name)
+		}
+	}
+}
+
+// facilityCfg is a light-load configuration — long lifetimes, long
+// horizon — so robots spend most of their time idle and the periodic
+// re-solver has someone to park.
+func facilityCfg(objective string) scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.Algorithm = algorithm.Facility
+	cfg.SimTime = 12000
+	cfg.MeanLifetime = 20000
+	cfg.Seed = 7
+	cfg.FacilityObjective = objective
+	cfg.FacilityPeriodS = 400
+	cfg.FacilityLedger = 32
+	return cfg
+}
+
+// TestFacilityRelocatesIdleRobots: under light load the facility family
+// must actually move idle robots toward solved facilities — under both
+// objectives — while still repairing everything it can.
+func TestFacilityRelocatesIdleRobots(t *testing.T) {
+	for _, objective := range []string{algorithm.ObjectiveKMedian, algorithm.ObjectiveKCenter} {
+		t.Run(objective, func(t *testing.T) {
+			w, err := scenario.New(facilityCfg(objective))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := w.Run()
+			if res.Repairs == 0 {
+				t.Fatal("no repairs")
+			}
+			reloc := 0
+			for _, r := range w.Robots {
+				reloc += r.Relocations()
+			}
+			if reloc == 0 {
+				t.Fatal("no robot ever completed a standby relocation")
+			}
+			t.Logf("%s: %d repairs, %d relocations", objective, res.Repairs, reloc)
+		})
+	}
+}
+
+// TestFacilityDeterministic: the facility family's extra machinery
+// (ledger, solver, relocation commands) must not break run-to-run
+// determinism.
+func TestFacilityDeterministic(t *testing.T) {
+	run := func() (int, float64) {
+		w, err := scenario.New(facilityCfg(algorithm.ObjectiveKMedian))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := w.Run()
+		return res.Repairs, res.TotalTravel
+	}
+	r1, tr1 := run()
+	r2, tr2 := run()
+	if r1 != r2 || tr1 != tr2 {
+		t.Fatalf("two identical runs diverged: (%d, %v) vs (%d, %v)", r1, tr1, r2, tr2)
+	}
+}
+
+// TestFacilityFactoryRejectsBadParams: parameter validation happens in
+// the factory itself, not only in scenario.Config.Validate, so embedders
+// wiring Env by hand get the same errors.
+func TestFacilityFactoryRejectsBadParams(t *testing.T) {
+	factory, err := algorithm.Lookup(string(algorithm.Facility))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []algorithm.FacilityParams{
+		{Objective: "steiner"},
+		{Period: -5},
+		{Ledger: -1},
+	}
+	for _, p := range cases {
+		if _, err := factory(&algorithm.Env{Facility: p}); err == nil {
+			t.Errorf("factory accepted bad params %+v", p)
+		}
+	}
+}

@@ -23,8 +23,8 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
+	"sort"
 
 	"roborepair/internal/geom"
 	"roborepair/internal/metrics"
@@ -36,62 +36,36 @@ import (
 	"roborepair/internal/wire"
 )
 
-// Algorithm selects one of the paper's three coordination algorithms.
-type Algorithm int
+// Algorithm names a coordination algorithm. It is a string key so the
+// algorithm registry (internal/algorithm) can be extended without touching
+// this package; its JSON form is the bare name, byte-identical to the
+// figure-style encoding the former enum marshaled to, so config hashes and
+// checkpoints round-trip unchanged across the registry refactor.
+type Algorithm string
 
 const (
 	// Centralized is the central-manager algorithm of §3.1.
-	Centralized Algorithm = iota + 1
+	Centralized Algorithm = "centralized"
 	// Fixed is the fixed distributed manager algorithm of §3.2.
-	Fixed
+	Fixed Algorithm = "fixed"
 	// Dynamic is the dynamic distributed manager algorithm of §3.3.
-	Dynamic
+	Dynamic Algorithm = "dynamic"
 )
 
 // String names the algorithm as in the paper's figures.
-func (a Algorithm) String() string {
-	switch a {
-	case Centralized:
-		return "centralized"
-	case Fixed:
-		return "fixed"
-	case Dynamic:
-		return "dynamic"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
-	}
-}
+func (a Algorithm) String() string { return string(a) }
 
-// MarshalJSON encodes the algorithm as its figure-style name.
-func (a Algorithm) MarshalJSON() ([]byte, error) {
-	return json.Marshal(a.String())
-}
-
-// UnmarshalJSON decodes a figure-style name.
-func (a *Algorithm) UnmarshalJSON(data []byte) error {
-	var s string
-	if err := json.Unmarshal(data, &s); err != nil {
-		return err
-	}
-	parsed, err := ParseAlgorithm(s)
-	if err != nil {
-		return err
-	}
-	*a = parsed
-	return nil
-}
-
-// ParseAlgorithm converts a figure-style name into an Algorithm.
+// ParseAlgorithm converts a figure-style name of one of the paper's three
+// algorithms into an Algorithm. It predates the registry and is kept for
+// backward compatibility; registry-aware callers (the CLIs, the facade)
+// should use algorithm.Parse, which also accepts registered extensions
+// such as "facility".
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch s {
-	case "centralized":
-		return Centralized, nil
-	case "fixed":
-		return Fixed, nil
-	case "dynamic":
-		return Dynamic, nil
+	switch Algorithm(s) {
+	case Centralized, Fixed, Dynamic:
+		return Algorithm(s), nil
 	default:
-		return 0, fmt.Errorf("core: unknown algorithm %q", s)
+		return "", fmt.Errorf("core: unknown algorithm %q", s)
 	}
 }
 
@@ -196,6 +170,22 @@ func (p DispatchPolicy) String() string {
 	return "closest"
 }
 
+// RobotView is the manager's exported view of one tracked maintenance
+// robot, handed to pluggable dispatch selectors.
+type RobotView struct {
+	ID   radio.NodeID
+	Loc  geom.Point
+	Load int
+}
+
+// Selector is a pluggable dispatch rule consulted before the built-in
+// policies: given a failure location and the live tracked robots in
+// ascending ID order, it names the robot to dispatch. Returning ok=false
+// (or a robot the manager does not consider live) falls back to the
+// built-in policy. Registered algorithm strategies (e.g. the
+// facility-location family) install one via SetSelector.
+type Selector func(loc geom.Point, robots []RobotView) (radio.NodeID, bool)
+
 // ManagerHooks observe the central manager.
 type ManagerHooks struct {
 	// OnReportReceived fires when a failure report reaches the manager.
@@ -225,7 +215,8 @@ type Manager struct {
 	hooks  ManagerHooks
 	policy DispatchPolicy
 
-	robots map[radio.NodeID]robotInfo
+	robots   map[radio.NodeID]robotInfo
+	selector Selector
 	// meanDispatchDist is the running mean of dispatch distances, used as
 	// the per-task service estimate by the ETA policy.
 	meanDispatchDist float64
@@ -304,6 +295,35 @@ func (m *Manager) RobotLocations() map[radio.NodeID]geom.Point {
 
 // SetDispatchPolicy selects the dispatch rule (DispatchClosest default).
 func (m *Manager) SetDispatchPolicy(p DispatchPolicy) { m.policy = p }
+
+// SetSelector installs a pluggable dispatch selector consulted before the
+// built-in policy (nil removes it).
+func (m *Manager) SetSelector(sel Selector) { m.selector = sel }
+
+// Router exposes the manager's geographic router so registered strategies
+// can originate their own control traffic (e.g. relocation commands) from
+// the manager station.
+func (m *Manager) Router() *netstack.Router { return m.router }
+
+// Active reports whether the manager is operating: neither crashed nor
+// deposed by an elected successor.
+func (m *Manager) Active() bool { return !m.failed && !m.deposed }
+
+// RobotViews returns the manager's tracked robots in ascending ID order,
+// skipping robots past the liveness deadline when the reliability protocol
+// is on.
+func (m *Manager) RobotViews() []RobotView {
+	now := m.medium.Scheduler().Now()
+	out := make([]RobotView, 0, len(m.robots))
+	for id, info := range m.robots {
+		if m.rel.Enabled() && m.robotStale(id, now) {
+			continue
+		}
+		out = append(out, RobotView{ID: id, Loc: info.loc, Load: info.load})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // SetStrictSeq toggles rejection of stale-sequence robot updates. The
 // hostile-channel layer turns it on; it stays off on a benign medium,
@@ -426,6 +446,13 @@ func (m *Manager) deliver(p netstack.Packet) {
 // policy, skipping robots past the liveness deadline when the reliability
 // protocol is on.
 func (m *Manager) selectRobot(loc geom.Point, now sim.Time) (radio.NodeID, bool) {
+	if m.selector != nil {
+		if id, ok := m.selector(loc, m.RobotViews()); ok {
+			if _, tracked := m.robots[id]; tracked && !(m.rel.Enabled() && m.robotStale(id, now)) {
+				return id, true
+			}
+		}
+	}
 	var best radio.NodeID
 	bestScore := -1.0
 	for id, info := range m.robots {

@@ -25,7 +25,7 @@ func TestAlgorithmNames(t *testing.T) {
 	}
 	for _, tt := range tests {
 		if tt.alg.String() != tt.name {
-			t.Errorf("String(%d) = %q", int(tt.alg), tt.alg.String())
+			t.Errorf("String(%q) = %q", string(tt.alg), tt.alg.String())
 		}
 		got, err := ParseAlgorithm(tt.name)
 		if err != nil || got != tt.alg {
@@ -35,7 +35,7 @@ func TestAlgorithmNames(t *testing.T) {
 	if _, err := ParseAlgorithm("nonsense"); err == nil {
 		t.Error("ParseAlgorithm should reject unknown names")
 	}
-	if Algorithm(42).String() == "" {
+	if Algorithm("bogus").String() == "" {
 		t.Error("unknown algorithm should still format")
 	}
 }
@@ -372,9 +372,15 @@ func TestAlgorithmJSONRoundTrip(t *testing.T) {
 			t.Fatalf("round trip %v → %v", alg, back)
 		}
 	}
+	// Unknown names unmarshal as plain strings — validation happens at
+	// scenario.New / ParseAlgorithm, not in the decoder — but they must
+	// not silently resolve to a known algorithm.
 	var bad Algorithm
-	if err := json.Unmarshal([]byte(`"nope"`), &bad); err == nil {
-		t.Fatal("unknown name accepted")
+	if err := json.Unmarshal([]byte(`"nope"`), &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseAlgorithm(string(bad)); err == nil {
+		t.Fatal("unknown name parsed")
 	}
 	if err := json.Unmarshal([]byte(`42`), &bad); err == nil {
 		t.Fatal("non-string accepted")

@@ -9,6 +9,7 @@ package figures
 import (
 	"fmt"
 
+	"roborepair/internal/algorithm"
 	"roborepair/internal/core"
 	"roborepair/internal/geom"
 	"roborepair/internal/metrics"
@@ -55,8 +56,22 @@ func (o RunOptions) run(jobs []runner.Job) ([]runner.Result, error) {
 // experiments ("we run experiments with 4, 9, and 16 robots").
 var PaperRobotCounts = []int{4, 9, 16}
 
-// AllAlgorithms lists the three coordination algorithms in figure order.
-var AllAlgorithms = []core.Algorithm{core.Fixed, core.Dynamic, core.Centralized}
+// AllAlgorithms lists every registered coordination algorithm: the
+// paper's three first, in figure order, then any registered extensions
+// in registry (name) order — so a newly registered algorithm appears in
+// every figure and summary table without edits here.
+var AllAlgorithms = allAlgorithms()
+
+func allAlgorithms() []core.Algorithm {
+	out := []core.Algorithm{core.Fixed, core.Dynamic, core.Centralized}
+	paper := map[core.Algorithm]bool{core.Fixed: true, core.Dynamic: true, core.Centralized: true}
+	for _, alg := range algorithm.All() {
+		if !paper[alg] {
+			out = append(out, alg)
+		}
+	}
+	return out
+}
 
 // Cell aggregates repeated runs of one (algorithm, robots) configuration.
 type Cell struct {

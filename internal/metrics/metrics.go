@@ -34,6 +34,10 @@ const (
 	CatTakeover   = "manager_takeover"
 )
 
+// CatRelocate is the facility-location family's standby-relocation
+// command traffic (zero for the paper's three algorithms).
+const CatRelocate = "relocate"
+
 // Sample series names recorded by the runner.
 const (
 	SeriesTravelPerFailure = "travel_per_failure_m"

@@ -143,6 +143,14 @@ type Robot struct {
 	restocks   int
 	failed     bool
 
+	// Standby-relocation state (facility-location coordination): an idle
+	// robot moving to a commanded parking spot, preempted by any real
+	// repair task. Inert for the paper's three algorithms.
+	relocating  bool
+	relocFrom   geom.Point // position where the relocation leg started
+	relocSeq    uint64     // highest relocation command sequence accepted
+	relocations int        // completed relocation legs
+
 	// Reliability-extension state (inert when cfg.Reliability is zero).
 	relTicker      *sim.Ticker
 	mgrID          radio.NodeID
@@ -276,6 +284,7 @@ func (r *Robot) FailNow() {
 	r.sched.Cancel(r.arriveEv)
 	r.sched.Cancel(r.updateEv)
 	r.sched.Cancel(r.takeoverEv)
+	r.relocating = false
 	if r.relTicker != nil {
 		r.relTicker.Stop()
 	}
@@ -407,7 +416,71 @@ func (r *Robot) deliver(p netstack.Packet) {
 			delete(r.outstanding, m.Failed)
 			delete(r.seen, m.Failed)
 		}
+	case wire.Relocate:
+		if m.Robot == r.id {
+			r.RelocateTo(m.Dest, m.Seq)
+		}
 	}
+}
+
+// RelocateTo starts an idle robot toward a standby location (facility-
+// location coordination). The command is ignored while the robot is
+// serving or queueing repairs — repairs always win — and stale commands
+// (Seq not above the last accepted) are dropped so reordered or replayed
+// frames cannot undo a newer placement; under StrictSeq the drop is
+// counted in ReplayRejected.
+func (r *Robot) RelocateTo(dest geom.Point, seq uint64) {
+	if r.failed || r.current != nil {
+		return
+	}
+	if seq <= r.relocSeq {
+		if r.cfg.StrictSeq {
+			r.replayRejected++
+		}
+		return
+	}
+	r.relocSeq = seq
+	r.interruptRelocation()
+	start := r.Pos()
+	if start.Dist(dest) == 0 {
+		return
+	}
+	r.settle(start)
+	r.relocFrom = start
+	r.relocating = true
+	r.dest = dest
+	r.moving = true
+	r.arriveEv = r.sched.After(sim.Duration(start.Dist(dest)/r.cfg.Speed), r.relocArrive)
+	r.scheduleUpdate()
+}
+
+// Relocations reports completed standby-relocation legs.
+func (r *Robot) Relocations() int { return r.relocations }
+
+// interruptRelocation abandons an in-flight relocation leg, accruing the
+// distance actually covered. A no-op unless relocating, so the paper's
+// algorithms never feel it.
+func (r *Robot) interruptRelocation() {
+	if !r.relocating {
+		return
+	}
+	r.sched.Cancel(r.arriveEv)
+	r.sched.Cancel(r.updateEv)
+	r.traveled += r.relocFrom.Dist(r.Pos())
+	r.relocating = false
+}
+
+// relocArrive completes a standby-relocation leg.
+func (r *Robot) relocArrive() {
+	if !r.relocating || r.failed {
+		return
+	}
+	r.sched.Cancel(r.updateEv)
+	r.traveled += r.relocFrom.Dist(r.dest)
+	r.relocating = false
+	r.relocations++
+	r.settle(r.dest)
+	r.publish()
 }
 
 // Enqueue adds a repair task; the robot serves tasks first-come-first-
@@ -438,6 +511,7 @@ func (r *Robot) enqueueTask(t Task) {
 }
 
 func (r *Robot) begin(t Task) {
+	r.interruptRelocation()
 	r.current = &t
 	start := r.Pos()
 	r.taskFrom = start

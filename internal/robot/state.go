@@ -99,6 +99,14 @@ func (r *Robot) AppendState(b []byte) []byte {
 		b = checkpoint.AppendI64(b, int64(o.attempts))
 		b = checkpoint.AppendBool(b, o.acked)
 	}
+
+	// Standby-relocation state (appended last: sections are byte-compared,
+	// never field-decoded, so extending the tail is format-safe).
+	b = checkpoint.AppendBool(b, r.relocating)
+	b = checkpoint.AppendF64(b, r.relocFrom.X)
+	b = checkpoint.AppendF64(b, r.relocFrom.Y)
+	b = checkpoint.AppendU64(b, r.relocSeq)
+	b = checkpoint.AppendI64(b, int64(r.relocations))
 	return b
 }
 

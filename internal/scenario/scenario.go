@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"roborepair/internal/algorithm"
 	"roborepair/internal/chaos"
 	"roborepair/internal/core"
 	"roborepair/internal/failure"
@@ -143,6 +144,17 @@ type Config struct {
 	// The two produce bit-identical runs (see DESIGN.md §12); the switch
 	// exists for differential testing and perf comparison.
 	Kernel string `json:"kernel,omitempty"`
+	// FacilityObjective selects the facility-location family's placement
+	// objective: "kmedian" (default) or "kcenter". Ignored by the other
+	// algorithms; omitted from JSON when unset so legacy config hashes
+	// are unchanged.
+	FacilityObjective string `json:"facilityObjective,omitempty"`
+	// FacilityPeriodS is the facility re-solve cadence in seconds
+	// (default 500).
+	FacilityPeriodS float64 `json:"facilityPeriodS,omitempty"`
+	// FacilityLedger caps the facility family's failure-site ledger,
+	// FIFO-evicted (default 64).
+	FacilityLedger int `json:"facilityLedger,omitempty"`
 }
 
 // ReliabilityConfig tunes the repair-reliability protocol. All durations
@@ -219,9 +231,18 @@ func DefaultConfig() Config {
 
 // Validate reports the first invalid field of the configuration.
 func (c Config) Validate() error {
+	if _, err := algorithm.Lookup(string(c.Algorithm)); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	facility := algorithm.FacilityParams{
+		Objective: c.FacilityObjective,
+		Period:    c.FacilityPeriodS,
+		Ledger:    c.FacilityLedger,
+	}
+	if err := facility.Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	switch {
-	case c.Algorithm != core.Centralized && c.Algorithm != core.Fixed && c.Algorithm != core.Dynamic:
-		return fmt.Errorf("scenario: invalid algorithm %v", c.Algorithm)
 	case c.Robots <= 0:
 		return fmt.Errorf("scenario: robots = %d, need ≥ 1", c.Robots)
 	case c.AreaPerRobotSide <= 0:

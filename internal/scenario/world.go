@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"roborepair/internal/algorithm"
 	"roborepair/internal/chaos"
 	"roborepair/internal/core"
 	"roborepair/internal/coverage"
@@ -38,8 +39,9 @@ type World struct {
 	Telemetry *telemetry.Collector // non-nil only when Config.Telemetry.Enabled
 	Recorder  *ftdc.Recorder       // non-nil only when Config.Recorder.Enabled
 
-	nextID radio.NodeID
-	policy node.Policy
+	nextID   radio.NodeID
+	policy   node.Policy
+	strategy algorithm.Strategy
 
 	// counters, incremented by hooks (see below); trace records lifecycle
 	// events when enabled.
@@ -199,31 +201,24 @@ func New(cfg Config) (*World, error) {
 	w.nextID = radio.NodeID(cfg.Robots + 2)
 
 	rel := cfg.Reliability.withDefaults()
-	if rel.Enabled {
-		w.relNode = node.Reliability{
-			RetryBase:     sim.Duration(rel.ReportRetryS),
-			RetryMax:      sim.Duration(rel.ReportRetryMaxS),
-			RetryLimit:    rel.ReportRetryLimit,
-			RobotExpiry:   sim.Duration(rel.HeartbeatS) * sim.Duration(rel.MissedHeartbeats),
-			OrphanAdopt:   true,
-			NeighborWatch: true,
-			WatchGrace:    sim.Duration(rel.WatchGraceS),
-		}
-		if cfg.Algorithm == core.Centralized {
-			w.relNode.Manager = managerID
-		}
-		w.requeuedAt = make(map[radio.NodeID]sim.Time)
-		w.siteIDs = make(map[geom.Point][]radio.NodeID)
-	}
 
-	// Algorithm wiring: sensor policy and robot update mode.
-	var mode robot.UpdateMode
-	switch cfg.Algorithm {
-	case core.Centralized:
-		center := bounds.Center()
-		w.policy = core.CentralizedPolicy{ManagerID: managerID}
-		mode = core.CentralizedUpdate{ManagerID: managerID, ManagerLoc: center}
-		w.Manager = core.NewManager(managerID, center, cfg.RobotRange, medium, core.ManagerHooks{
+	// Algorithm wiring via the strategy registry: the factory builds the
+	// sensor policy, the robot update mode, and (for centrally dispatched
+	// families) the manager station, against hooks that feed the world's
+	// counters and trace.
+	factory, err := algorithm.Lookup(string(cfg.Algorithm))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	env := &algorithm.Env{
+		Medium:     medium,
+		Sched:      sched,
+		Bounds:     bounds,
+		Partition:  part,
+		RobotIDs:   robotIDs,
+		ManagerID:  managerID,
+		RobotRange: cfg.RobotRange,
+		ManagerHooks: core.ManagerHooks{
 			OnReportReceived: func(rep wire.FailureReport, hops int) {
 				w.reportsDelivered++
 				reg.Observe(metrics.SeriesReportHops, float64(hops))
@@ -249,28 +244,52 @@ func New(cfg Config) (*World, error) {
 					Node: req.Failed, Actor: to, Loc: req.Loc,
 				})
 			},
-		})
-		if rel.Enabled {
-			w.Manager.SetReliability(core.ManagerReliability{
-				HeartbeatPeriod:    sim.Duration(rel.HeartbeatS),
-				MissedHeartbeats:   rel.MissedHeartbeats,
-				DispatchAckTimeout: sim.Duration(rel.DispatchAckTimeoutS),
-			})
+		},
+		RelEnabled: rel.Enabled,
+		Facility: algorithm.FacilityParams{
+			Objective: cfg.FacilityObjective,
+			Period:    cfg.FacilityPeriodS,
+			Ledger:    cfg.FacilityLedger,
+		},
+	}
+	if rel.Enabled {
+		env.ManagerRel = core.ManagerReliability{
+			HeartbeatPeriod:    sim.Duration(rel.HeartbeatS),
+			MissedHeartbeats:   rel.MissedHeartbeats,
+			DispatchAckTimeout: sim.Duration(rel.DispatchAckTimeoutS),
 		}
-	case core.Fixed:
-		home := make(map[radio.NodeID]int, cfg.Robots)
-		for i, id := range robotIDs {
-			home[id] = i
+	}
+	strat, err := factory(env)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	w.strategy = strat
+	w.Manager = strat.Manager()
+	w.policy = strat.Policy()
+	mode := strat.UpdateMode()
+
+	if rel.Enabled {
+		w.relNode = node.Reliability{
+			RetryBase:     sim.Duration(rel.ReportRetryS),
+			RetryMax:      sim.Duration(rel.ReportRetryMaxS),
+			RetryLimit:    rel.ReportRetryLimit,
+			RobotExpiry:   sim.Duration(rel.HeartbeatS) * sim.Duration(rel.MissedHeartbeats),
+			OrphanAdopt:   true,
+			NeighborWatch: true,
+			WatchGrace:    sim.Duration(rel.WatchGraceS),
 		}
-		w.policy = core.FixedPolicy{Partition: part, Home: home}
-		mode = core.FloodUpdate{}
-	case core.Dynamic:
-		w.policy = core.DynamicPolicy{}
-		mode = core.FloodUpdate{}
+		if strat.CentralDispatch() {
+			w.relNode.Manager = managerID
+		}
+		w.requeuedAt = make(map[radio.NodeID]sim.Time)
+		w.siteIDs = make(map[geom.Point][]radio.NodeID)
 	}
 
-	// Deploy the initial sensor population.
+	// Deploy the initial sensor population. The deploy stream is shared
+	// with robot placement (RobotStart draws from it after the sensors),
+	// preserving the pre-registry draw order.
 	deploy := split("deploy")
+	env.Deploy = deploy
 	jitter := split("jitter")
 	for _, pos := range placeSensors(cfg.Deployment, cfg.NumSensors(), bounds, deploy) {
 		w.spawnSensor(pos, jitter, false, 0, geom.Point{})
@@ -346,9 +365,9 @@ func New(cfg Config) (*World, error) {
 				})
 			}
 			// Under the distributed algorithms the dead robot's neighbors
-			// absorb its pending work (the centralized manager re-dispatches
+			// absorb its pending work (a central manager re-dispatches
 			// through its own liveness tracking instead).
-			if rel.Enabled && cfg.Algorithm != core.Centralized {
+			if rel.Enabled && !strat.CentralDispatch() {
 				w.requeueStranded(stranded)
 			}
 		},
@@ -396,18 +415,13 @@ func New(cfg Config) (*World, error) {
 			MissedHeartbeats:   rel.MissedHeartbeats,
 			DispatchAckTimeout: sim.Duration(rel.DispatchAckTimeoutS),
 		}
-		if cfg.Algorithm == core.Centralized {
+		if strat.CentralDispatch() {
 			rcfg.Reliability.Manager = managerID
 			rcfg.Reliability.ManagerLoc = bounds.Center()
 		}
 	}
 	for i, id := range robotIDs {
-		var pos geom.Point
-		if cfg.Algorithm == core.Fixed {
-			pos = part.Centers[i]
-		} else {
-			pos = geom.Pt(deploy.Uniform(0, side), deploy.Uniform(0, side))
-		}
+		pos := strat.RobotStart(i)
 		rc := rcfg
 		rc.Reliability.TakeoverRank = i
 		r := robot.New(id, pos, rc, mode, medium, robotHooks)
@@ -430,6 +444,10 @@ func New(cfg Config) (*World, error) {
 		}
 		w.Manager.Start(initDelay)
 	}
+	// Strategy-owned periodic work (e.g. the facility re-solver); a no-op
+	// for the paper's three algorithms, so their event sequences are
+	// untouched.
+	strat.Start(initDelay)
 	if cfg.SensingRange > 0 {
 		w.startCoverageSampling(bounds)
 	}

@@ -56,7 +56,7 @@ func TestConfigValidate(t *testing.T) {
 		name string
 		mut  func(*Config)
 	}{
-		{"bad algorithm", func(c *Config) { c.Algorithm = 0 }},
+		{"bad algorithm", func(c *Config) { c.Algorithm = "bogus" }},
 		{"zero robots", func(c *Config) { c.Robots = 0 }},
 		{"negative area", func(c *Config) { c.AreaPerRobotSide = -1 }},
 		{"zero sensors", func(c *Config) { c.SensorsPerRobot = 0 }},

@@ -35,6 +35,7 @@ const (
 	tagManagerTakeover  byte = 9
 	tagRepairRequest    byte = 10
 	tagRobotUpdate      byte = 11
+	tagRelocate         byte = 12
 
 	// Network-layer envelopes (hostile-channel extension): routed packets
 	// and controlled floods carry a nested message body. The gap before 32
@@ -56,6 +57,7 @@ const (
 	sizeManagerTakeover  = 1 + 8 + 16
 	sizeRepairRequest    = 1 + 8 + 16 + 8 + 8 + 16
 	sizeRobotUpdate      = 1 + 8 + 16 + 8 + 8 + 1
+	sizeRelocate         = 1 + 8 + 16 + 8
 )
 
 // enc is an append-only little-endian writer. Oversized variable-length
@@ -288,6 +290,12 @@ func Encode(msg any) ([]byte, error) {
 		e.u64(m.Seq)
 		e.i(m.Load)
 		e.bool(m.Managing)
+	case Relocate:
+		e.b = make([]byte, 0, sizeRelocate)
+		e.b = append(e.b, tagRelocate)
+		e.id(m.Robot)
+		e.pt(m.Dest)
+		e.u64(m.Seq)
 	case netstack.Packet:
 		e.b = make([]byte, 0, 128)
 		e.b = append(e.b, tagPacket)
@@ -362,6 +370,8 @@ func Decode(b []byte) (any, error) {
 			Robot: d.id(), Loc: d.pt(), Seq: d.u64(),
 			Load: d.i(), Managing: d.bool(),
 		}
+	case tagRelocate:
+		msg = Relocate{Robot: d.id(), Dest: d.pt(), Seq: d.u64()}
 	case tagPacket:
 		msg = netstack.Packet{
 			Src: d.id(), Dst: d.id(), DstLoc: d.pt(), Category: d.str(),

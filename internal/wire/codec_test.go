@@ -25,6 +25,7 @@ func allMessages() []any {
 		ManagerTakeover{Manager: 9002, Loc: geom.Pt(-0.5, 1e9)},
 		RepairRequest{Failed: 8, Loc: geom.Pt(3, 4), IssuedAt: 777.125, Manager: 9000, ManagerLoc: geom.Pt(5, 6)},
 		RobotUpdate{Robot: 9003, Loc: geom.Pt(200, 200), Seq: 3, Load: -2, Managing: true},
+		Relocate{Robot: 9004, Dest: geom.Pt(120.5, -3.75), Seq: 1<<40 + 7},
 	}
 }
 
@@ -56,6 +57,7 @@ func TestEncodedSizes(t *testing.T) {
 		sizeBeacon, sizeLocationAnnounce, sizeLocationAnnounce, sizeGuardianConfirm,
 		sizeFailureReport, sizeReportAck, sizeHeartbeatAck, sizeDispatchAck,
 		sizeRepairDone, sizeManagerTakeover, sizeRepairRequest, sizeRobotUpdate,
+		sizeRelocate,
 	}
 	for i, msg := range allMessages() {
 		b, err := Encode(msg)

@@ -20,6 +20,7 @@ func FuzzWireDecode(f *testing.F) {
 		ReportAck{Reporter: 5, Failed: 4, Seq: 42},
 		RepairRequest{Failed: 8, Loc: geom.Pt(3, 4), IssuedAt: 777.125, Manager: 9000, ManagerLoc: geom.Pt(5, 6)},
 		RobotUpdate{Robot: 9003, Loc: geom.Pt(200, 200), Seq: 3, Load: 1, Managing: false},
+		Relocate{Robot: 3, Dest: geom.Pt(150, 250), Seq: 8},
 		netstack.Packet{Src: 9, Dst: 2, DstLoc: geom.Pt(100, 100), Category: "failure_report",
 			Payload: FailureReport{Failed: 4, Loc: geom.Pt(10, 20), Reporter: 9, Seq: 3},
 			Hops:    2, TTL: 30, Mode: netstack.ModePerimeter, EntryLoc: geom.Pt(1, 2), PrevLoc: geom.Pt(3, 4),

@@ -123,3 +123,16 @@ type RobotUpdate struct {
 	// current manager, and a deposed manager learns to stand down.
 	Managing bool
 }
+
+// Relocate commands an idle robot to reposition to a standby location
+// (a facility in the facility-location coordination family). It is not
+// a repair task: the robot parks at Dest so future dispatches start
+// closer to where failures cluster, and any real repair assignment
+// preempts the move. Seq is the issuing manager's relocation sequence
+// number; robots ignore stale (non-increasing) commands so reordered or
+// replayed frames cannot undo a newer placement.
+type Relocate struct {
+	Robot radio.NodeID
+	Dest  geom.Point
+	Seq   uint64
+}

@@ -8,7 +8,10 @@
 // manager, which dispatches a maintenance robot to replace the node. The
 // package implements the paper's three coordination algorithms —
 // Centralized, Fixed (static subareas), and Dynamic (implicit Voronoi
-// cells) — on top of a from-scratch packet-level wireless simulation.
+// cells) — on top of a from-scratch packet-level wireless simulation,
+// plus a facility-location family (Facility) that parks idle robots at
+// k-median/k-center facilities solved over recent failure sites.
+// Algorithms are pluggable: see internal/algorithm and Algorithms().
 //
 // Quickstart:
 //
@@ -23,6 +26,7 @@ package roborepair
 import (
 	"io"
 
+	"roborepair/internal/algorithm"
 	"roborepair/internal/chaos"
 	"roborepair/internal/checkpoint"
 	"roborepair/internal/core"
@@ -120,6 +124,13 @@ func RestoreOpts(snap *Snapshot, opts RestoreOptions) (*World, error) {
 	return scenario.RestoreOpts(snap, opts)
 }
 
+// EncodeSnapshot renders a snapshot in the versioned, CRC-guarded binary
+// format, for callers that bank snapshots somewhere other than a file.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) { return checkpoint.Encode(s) }
+
+// DecodeSnapshot parses and CRC-checks an EncodeSnapshot blob.
+func DecodeSnapshot(b []byte) (*Snapshot, error) { return checkpoint.Decode(b) }
+
 // ReadSnapshot loads and CRC-checks a snapshot file written by
 // WriteSnapshot.
 func ReadSnapshot(path string) (*Snapshot, error) { return checkpoint.ReadFile(path) }
@@ -143,7 +154,8 @@ func WriteSnapshot(path string, s *Snapshot) error { return checkpoint.WriteFile
 // An empty spec yields a nil plan (no faults).
 func ParseFaultPlan(spec string) (*FaultPlan, error) { return chaos.Parse(spec) }
 
-// The three coordination algorithms of the paper.
+// The registered coordination algorithms: the paper's three plus the
+// facility-location family. Algorithms() enumerates the full registry.
 const (
 	// Centralized is the central-manager algorithm (§3.1).
 	Centralized = core.Centralized
@@ -151,6 +163,10 @@ const (
 	Fixed = core.Fixed
 	// Dynamic is the dynamic distributed manager algorithm (§3.3).
 	Dynamic = core.Dynamic
+	// Facility is the facility-location family: centralized dispatch plus
+	// periodic k-median/k-center re-placement of idle robots over recent
+	// failure sites (tune via Config.FacilityObjective/PeriodS/Ledger).
+	Facility = algorithm.Facility
 )
 
 // Subarea partition shapes for the Fixed algorithm.
@@ -194,9 +210,15 @@ func RunMany(cfgs []Config, procs int) ([]Results, error) {
 	return out, err
 }
 
-// ParseAlgorithm converts "centralized", "fixed", or "dynamic" into an
-// Algorithm.
-func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+// ParseAlgorithm converts a registered algorithm name ("centralized",
+// "fixed", "dynamic", "facility", ...) into an Algorithm; unknown names
+// fail with the full registered list.
+func ParseAlgorithm(s string) (Algorithm, error) { return algorithm.Parse(s) }
+
+// Algorithms enumerates every registered coordination algorithm in
+// deterministic (sorted) order — the list sweeps, figures, and invariant
+// grids iterate.
+func Algorithms() []Algorithm { return algorithm.All() }
 
 // WritePrometheus renders a run's full accounting — the metrics registry
 // plus, when telemetry was enabled, the collector's counters, histograms,
