@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke bench-telemetry telemetry-smoke invariant-smoke checkpoint-smoke conformance-smoke ftdc-smoke fuzz-smoke cover figures validate examples clean
+.PHONY: all build test vet race bench bench-json bench-smoke bench-telemetry telemetry-smoke invariant-smoke checkpoint-smoke conformance-smoke ftdc-smoke energy-smoke fuzz-smoke cover figures validate examples clean
 
 all: build vet test
 
@@ -28,13 +28,13 @@ bench:
 # Machine-readable benchmark record for the per-PR perf ratchet (see
 # DESIGN.md §12.5): runs the end-to-end throughput bench (bare and with
 # the flight recorder armed) plus the kernel and radio microbenches, and
-# writes the parsed metrics to BENCH_PR9.json.
+# writes the parsed metrics to BENCH_PR10.json.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$|BenchmarkSimulatorThroughputFTDC' -benchmem -benchtime 3x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSchedulerHotLoop|BenchmarkSchedulerChurn' -benchmem ./internal/sim ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkNeighborsDense|BenchmarkMediumBroadcast$$' -benchmem ./internal/radio ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
-	@echo "wrote BENCH_PR9.json"
+	| $(GO) run ./cmd/benchjson -o BENCH_PR10.json
+	@echo "wrote BENCH_PR10.json"
 
 # Fast allocation check on the hot-path benchmarks only (seconds, not
 # minutes): scheduler churn, medium broadcast, end-to-end throughput.
@@ -111,6 +111,16 @@ ftdc-smoke:
 	$(GO) run ./cmd/ftdcdump -diff /tmp/roborepair-a.ftdc /tmp/roborepair-b.ftdc
 	$(GO) run ./cmd/ftdcdump /tmp/roborepair-a.ftdc
 
+# Energy-layer gate: the battery ledger and power-model unit tests, the
+# end-to-end battery scenarios (starvation, recharge, handoff, targeted
+# drain, off-is-absent, seeded-mutation catch, checkpoint round-trip),
+# then the invck grid with the layer live — every algorithm under the
+# drain plans with the energy-conservation law armed.
+energy-smoke:
+	$(GO) test ./internal/energy
+	$(GO) test -run 'TestBattery|TestEnergyConservation' -count=1 ./internal/scenario
+	$(GO) run ./cmd/invck -seeds 2 -simtime 4000 -battery 60000
+
 # Native fuzz smoke: 30 s per target over the checked-in seed corpora.
 # The chaos target guards the fault-plan DSL round trip, the wire targets
 # the binary codec's canonical-form property and the frame decoder's
@@ -129,10 +139,11 @@ fuzz-smoke:
 
 # Coverage gate: the simulation kernel, the scenario layer, the
 # invariant checker, the wire codec (the hostile channel's attack
-# surface), the flight-recorder codec, and the algorithm registry must
-# each stay at or above 80% statement coverage.
+# surface), the flight-recorder codec, the algorithm registry, the
+# energy model/ledger, and the failure injector must each stay at or
+# above 80% statement coverage.
 cover:
-	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant ./internal/wire ./internal/ftdc ./internal/algorithm; do \
+	@for pkg in ./internal/sim ./internal/scenario ./internal/invariant ./internal/wire ./internal/ftdc ./internal/algorithm ./internal/energy ./internal/failure; do \
 		out=$$($(GO) test -cover $$pkg | tee /dev/stderr); \
 		pct=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
 		ok=$$(echo "$$pct 80" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
@@ -153,6 +164,7 @@ examples:
 	$(GO) run ./examples/mobilityduel
 	$(GO) run ./examples/telemetry > /dev/null
 	$(GO) run ./examples/hostilechannel
+	$(GO) run ./examples/attrition
 
 clean:
 	$(GO) clean ./...

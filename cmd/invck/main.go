@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	invck                        # default grid: 3 algorithms × 7 plans × 5 seeds
+//	invck                        # default grid: every algorithm × 7 plans × 5 seeds
 //	invck -seeds 3 -simtime 4000 # smaller smoke grid
+//	invck -battery 60000         # energy layer live; adds drain plans to the grid
 //	invck -csv grid.csv          # also dump one CSV row per run
 //
 // Any violation prints a diagnostic and exits nonzero.
@@ -74,6 +75,8 @@ func run(args []string) error {
 	simtime := fs.Float64("simtime", 8000, "simulated seconds per run")
 	robots := fs.Int("robots", 4, "robots per run")
 	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
+	battery := fs.Float64("battery", 0, "per-robot battery capacity in joules (0 = energy layer off); adds drain plans to the grid")
+	recharge := fs.Float64("recharge", 250, "depot recharge watts when -battery is set (0 = starvation mode)")
 	csvPath := fs.String("csv", "", "also write one CSV row per run to this file")
 	progress := fs.Bool("progress", false, "print live grid progress to stderr")
 	snapshotDir := fs.String("snapshot-dir", "", "on violation, bank the snapshot nearest the first breach here and replay it with a tail trace")
@@ -91,6 +94,22 @@ func run(args []string) error {
 	algs := roborepair.Algorithms() // every registered algorithm, including extensions
 	planNames := []string{"none", "burst", "blackout", "mgr-crash", "corrupt-1", "corrupt-5", "corrupt-20"}
 	grid := plans(*simtime, base.FieldSide())
+	if *battery > 0 {
+		base.Battery = &roborepair.BatteryConfig{CapacityJ: *battery, RechargeW: *recharge}
+		// With the energy layer live, adversarial drain windows join the
+		// grid: a fleet-wide slow drain and a single-robot hard drain.
+		for name, spec := range map[string]string{
+			"drain-fleet": fmt.Sprintf("drain@%g-%g=0.5", *simtime/4, *simtime/2),
+			"drain-one":   fmt.Sprintf("drain@%g-%g=2,0", *simtime/4, *simtime/2),
+		} {
+			p, err := chaos.Parse(spec)
+			if err != nil {
+				panic(fmt.Sprintf("invck: bad built-in plan %q: %v", spec, err))
+			}
+			grid[name] = p
+		}
+		planNames = append(planNames, "drain-fleet", "drain-one")
+	}
 
 	var jobs []runner.Job
 	for _, alg := range algs {

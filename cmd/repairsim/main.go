@@ -9,6 +9,13 @@
 //
 //	repairsim -alg dynamic -reliable -fault 'robot@4000=0;burst@4000-8000=0.05'
 //
+// Energy-constrained runs give each robot a finite battery: dispatches are
+// admission-checked against the remaining charge, robots detour to the
+// depot charger when low (or die in place without one), and drain windows
+// become live chaos:
+//
+//	repairsim -alg dynamic -battery 30000 -recharge 250 -fault 'drain@4000-8000=0.5'
+//
 // Checkpoint/restore: periodically snapshot the full simulator state, then
 // resume a killed run — or replay its tail with a fresh trace for
 // debugging — from the latest snapshot:
@@ -71,8 +78,10 @@ func run(args []string) error {
 	efficient := fs.Bool("efficient-broadcast", false, "enable the §4.3.2 relay-set optimization")
 	fs.Float64Var(&cfg.SensingRange, "sensing", 0, "sensing radius (m); >0 tracks coverage")
 	fs.IntVar(&cfg.CargoCapacity, "cargo", 0, "robot cargo capacity; 0 = unlimited")
-	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000;corrupt@4000-8000=0.05,mix'")
+	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000;corrupt@4000-8000=0.05,mix;drain@4000-8000=0.5,2'")
 	fs.BoolVar(&cfg.Reliability.Enabled, "reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
+	battery := fs.Float64("battery", 0, "per-robot battery capacity in joules (0 = energy layer off)")
+	recharge := fs.Float64("recharge", 250, "depot recharge watts when -battery is set (0 = starvation mode)")
 	fs.BoolVar(&cfg.Invariants.Enabled, "invariants", false, "run the conservation-law checker; violations print and exit nonzero")
 	telemetryOn := fs.Bool("telemetry", false, "enable telemetry and print its summary")
 	prom := fs.String("prom", "", "write metrics in Prometheus text format to this file (implies -telemetry)")
@@ -113,6 +122,9 @@ func run(args []string) error {
 		cfg.Partition = roborepair.PartitionHex
 	}
 	cfg.EfficientBroadcast = *efficient
+	if *battery > 0 {
+		cfg.Battery = &roborepair.BatteryConfig{CapacityJ: *battery, RechargeW: *recharge}
+	}
 
 	var w *roborepair.World
 	var res roborepair.Results
@@ -201,6 +213,10 @@ func run(args []string) error {
 			fmt.Printf("hostile channel: corrupted %d   dropped malformed %d   replay-rejected %d\n",
 				res.CorruptedFrames, res.DroppedMalformed, res.ReplayRejected)
 		}
+	}
+	if w.Cfg.Battery != nil {
+		fmt.Printf("energy: spent %.0f J   deaths %d   recharges %d   handoffs %d\n",
+			res.EnergySpentJ, res.RobotDeaths, res.Recharges, res.TaskHandoffs)
 	}
 	if *telemetryOn {
 		fmt.Print(res.Telemetry.Summary())

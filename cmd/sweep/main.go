@@ -82,8 +82,10 @@ func run(args []string) error {
 	seeds := fs.Int("seeds", 1, "seeds per configuration")
 	procs := fs.Int("procs", 0, "parallel workers (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print engine throughput to stderr")
-	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000;corrupt@4000-8000=0.05,mix'")
+	fault := fs.String("fault", "", "fault plan, e.g. 'robot@4000=0;burst@4000-8000=0.05;blackout@2000-3000=100,100,80;mgr@9000;corrupt@4000-8000=0.05,mix;drain@4000-8000=0.5'")
 	reliable := fs.Bool("reliable", false, "enable the repair-reliability protocol (retransmission, heartbeats, failover)")
+	battery := fs.Float64("battery", 0, "per-robot battery capacity in joules (0 = energy layer off); adds the energy columns")
+	recharge := fs.Float64("recharge", 250, "depot recharge watts when -battery is set (0 = starvation mode)")
 	invariants := fs.Bool("invariants", false, "run the conservation-law checker per run; adds a violations column and exits nonzero on any")
 	telemetryOn := fs.Bool("telemetry", false, "enable per-run telemetry collection")
 	timeseries := fs.String("timeseries", "", "write per-run gauge time series to this CSV file (implies -telemetry)")
@@ -154,6 +156,9 @@ func run(args []string) error {
 				}
 				cfg.Reliability.Enabled = *reliable
 				cfg.Invariants.Enabled = *invariants
+				if *battery > 0 {
+					cfg.Battery = &roborepair.BatteryConfig{CapacityJ: *battery, RechargeW: *recharge}
+				}
 				if *telemetryOn || *timeseries != "" {
 					cfg.Telemetry.Enabled = true
 					cfg.Telemetry.SamplePeriodS = *sampleEvery
@@ -233,6 +238,9 @@ func run(args []string) error {
 	if degraded {
 		header += ",unrepaired,dup_repairs,stranded,requeued,report_retx,abandoned,redispatches,takeovers,recovery_s"
 	}
+	if *battery > 0 {
+		header += ",robot_deaths,recharges,handoffs,energy_spent_j"
+	}
 	if *invariants {
 		header += ",violations"
 	}
@@ -250,6 +258,10 @@ func run(args []string) error {
 				res.UnrepairedFailures, res.DuplicateRepairs, res.StrandedTasks,
 				res.RequeuedTasks, res.ReportRetx, res.ReportsAbandoned,
 				res.Redispatches, res.ManagerTakeovers, res.MeanFaultRecovery)
+		}
+		if *battery > 0 {
+			fmt.Printf(",%d,%d,%d,%.0f",
+				res.RobotDeaths, res.Recharges, res.TaskHandoffs, res.EnergySpentJ)
 		}
 		if *invariants {
 			fmt.Printf(",%d", len(res.Violations))

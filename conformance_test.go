@@ -32,8 +32,9 @@ var conformanceKernels = []string{"heap", "ladder"}
 
 // conformanceConfig is the common base: a short horizon with plenty of
 // failures inside it, the reliability protocol armed (it exercises
-// re-dispatch and takeover paths), and a full trace as the bit-identity
-// oracle.
+// re-dispatch and takeover paths), the battery layer live (admission
+// checks, recharge detours, and handoffs run inside every contract), and
+// a full trace as the bit-identity oracle.
 func conformanceConfig(alg roborepair.Algorithm, kernel string) roborepair.Config {
 	cfg := roborepair.DefaultConfig()
 	cfg.Algorithm = alg
@@ -43,6 +44,9 @@ func conformanceConfig(alg roborepair.Algorithm, kernel string) roborepair.Confi
 	cfg.Seed = 5
 	cfg.TraceCapacity = 4096
 	cfg.Reliability.Enabled = true
+	// A saturated robot draws ≈31.6 W, so this pack forces several recharge
+	// round-trips inside the horizon.
+	cfg.Battery = &roborepair.BatteryConfig{CapacityJ: 30000, RechargeW: 250}
 	return cfg
 }
 
@@ -176,6 +180,7 @@ var conformanceFaultPlans = []struct{ name, spec string }{
 	{"burst", "burst@600-1400=0.3"},
 	{"blackout", "blackout@600-1400=200,200,100"},
 	{"corrupt", "corrupt@600-1400=0.1"},
+	{"drain", "drain@600-1400=0.5"},
 }
 
 // TestConformanceChaosCleanliness — contract (c).

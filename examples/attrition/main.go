@@ -1,0 +1,82 @@
+// Attrition: what finite robot batteries do to the maintenance service.
+// Three fleets work the same failure process: an unconstrained baseline
+// (no energy layer), a starving fleet (finite packs, no charger — robots
+// die in place one by one), and a sustained fleet (same packs plus a
+// 250 W depot charger — robots detour to top up and hand queued tasks
+// back before leaving). The table shows graceful degradation: starvation
+// costs repairs in proportion to fleet attrition, while recharge trades a
+// little latency for an immortal fleet.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roborepair"
+	"roborepair/internal/report"
+)
+
+// base is the shared scenario: a busy field over a horizon several times
+// one pack's idle lifetime, so energy policy — not luck — decides the
+// outcome.
+func base() roborepair.Config {
+	cfg := roborepair.DefaultConfig()
+	cfg.Algorithm = roborepair.Dynamic
+	cfg.SimTime = 6000
+	cfg.MeanLifetime = 4000
+	cfg.Invariants.Enabled = true // every run doubles as an energy audit
+	return cfg
+}
+
+func main() {
+	unconstrained := base() // Battery nil: the energy layer is absent
+
+	starved := base()
+	starved.Battery = &roborepair.BatteryConfig{CapacityJ: 40000} // no charger
+
+	sustained := base()
+	sustained.Battery = &roborepair.BatteryConfig{CapacityJ: 40000, RechargeW: 250}
+
+	results, err := roborepair.RunMany([]roborepair.Config{unconstrained, starved, sustained}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		if len(res.Violations) > 0 {
+			log.Fatalf("invariant violation: %v", res.Violations[0])
+		}
+	}
+	uncon, starv, sust := results[0], results[1], results[2]
+
+	t := report.NewTable(
+		"Fleet attrition under finite batteries (dynamic, 4 robots, 6000 s)",
+		"metric", "no battery", "starvation", "recharge")
+	t.AddRow("robots alive at horizon",
+		report.I(unconstrained.Robots),
+		report.I(unconstrained.Robots-starv.RobotDeaths),
+		report.I(unconstrained.Robots-sust.RobotDeaths))
+	t.AddRow("failures injected",
+		report.I(uncon.FailuresInjected), report.I(starv.FailuresInjected), report.I(sust.FailuresInjected))
+	t.AddRow("repairs completed",
+		report.I(uncon.Repairs), report.I(starv.Repairs), report.I(sust.Repairs))
+	t.AddRow("repair ratio",
+		report.F(uncon.RepairRatio()), report.F(starv.RepairRatio()), report.F(sust.RepairRatio()))
+	t.AddRow("avg repair delay (s)",
+		report.F1(uncon.AvgRepairDelay), report.F1(starv.AvgRepairDelay), report.F1(sust.AvgRepairDelay))
+	t.AddRow("energy spent (kJ)",
+		"—", report.F1(starv.EnergySpentJ/1000), report.F1(sust.EnergySpentJ/1000))
+	t.AddRow("recharge round-trips",
+		"—", report.I(starv.Recharges), report.I(sust.Recharges))
+	t.AddRow("tasks handed back",
+		"—", report.I(starv.TaskHandoffs), report.I(sust.TaskHandoffs))
+	fmt.Println(t.String())
+
+	fmt.Println("Reading the table:")
+	fmt.Println("  · the starving fleet dies in place mid-run; its survivors keep the")
+	fmt.Println("    service degrading gracefully instead of collapsing at once")
+	fmt.Println("  · the recharging fleet never dies: robots decline dispatches they")
+	fmt.Println("    cannot finish, hand queued tasks to peers, and detour to the depot")
+	fmt.Println("  · the price of immortality is depot time: round-trips and admission")
+	fmt.Println("    declines cost some repair throughput against the unconstrained")
+	fmt.Println("    baseline, but no robots")
+}

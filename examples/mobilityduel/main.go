@@ -67,5 +67,12 @@ func main() {
 	fmt.Println("  · cascaded relocation responds faster per failure (short parallel")
 	fmt.Println("    moves) — exactly the trade-off [13] optimizes")
 	fmt.Println("  · but relocation consumes the sensing fleet's own energy and runs")
-	fmt.Println("    out of spares; robots carry fresh nodes indefinitely")
+	if rcfg.CargoCapacity > 0 {
+		fmt.Printf("    out of spares; robots carry %d nodes per trip and restock at\n", rcfg.CargoCapacity)
+		fmt.Println("    the depot between dispatches")
+	} else {
+		fmt.Println("    out of spares; robots restock fresh nodes from the depot's")
+		fmt.Println("    unlimited supply (this run leaves CargoCapacity=0: no restock")
+		fmt.Println("    trips are simulated)")
+	}
 }

@@ -1,6 +1,7 @@
 // Package chaos injects faults into a simulation run from a declarative,
 // seeded plan: scheduled robot breakdowns, message-loss bursts, regional
-// radio blackouts, and a central-manager crash. A plan is plain data —
+// radio blackouts, battery drains, and a central-manager crash. A plan is
+// plain data —
 // JSON-serializable and parseable from a compact flag syntax — so any run
 // or sweep can be replayed deterministically under the same faults.
 //
@@ -60,6 +61,19 @@ type Corruption struct {
 	Mode string  `json:"mode,omitempty"`
 }
 
+// Drain bleeds robot batteries during [From, To): the targeted robots lose
+// an extra Fraction of their battery capacity, spread uniformly over the
+// window (an adversarial load — stuck actuators, headwinds, a parasitic
+// payload). Robot is the zero-based team index to target, or -1 for the
+// whole fleet. The directive is inert when the run has no battery layer
+// (Config.Battery unset), mirroring mgr@ on manager-less algorithms.
+type Drain struct {
+	From     float64 `json:"from"`
+	To       float64 `json:"to"`
+	Fraction float64 `json:"fraction"`
+	Robot    int     `json:"robot"` // -1 = all robots
+}
+
 // corruptionModes is the accepted Mode set ("" selects mix).
 var corruptionModes = map[string]bool{
 	"": true, "bitflip": true, "truncate": true, "garbage": true,
@@ -73,6 +87,7 @@ type FaultPlan struct {
 	LossBursts    []LossBurst    `json:"lossBursts,omitempty"`
 	Blackouts     []Blackout     `json:"blackouts,omitempty"`
 	Corruptions   []Corruption   `json:"corruptions,omitempty"`
+	Drains        []Drain        `json:"drains,omitempty"`
 	// ManagerCrashAt kills the central manager at this time. Zero means
 	// never; the field is ignored by algorithms without a central manager.
 	ManagerCrashAt float64 `json:"managerCrashAt,omitempty"`
@@ -83,7 +98,7 @@ func (p *FaultPlan) Empty() bool {
 	return p == nil ||
 		(len(p.RobotFailures) == 0 && len(p.LossBursts) == 0 &&
 			len(p.Blackouts) == 0 && len(p.Corruptions) == 0 &&
-			p.ManagerCrashAt == 0)
+			len(p.Drains) == 0 && p.ManagerCrashAt == 0)
 }
 
 // Validate checks the plan's internal consistency. robots is the size of
@@ -133,6 +148,20 @@ func (p *FaultPlan) Validate(robots int) error {
 			return fmt.Errorf("chaos: corruption %d: unknown mode %q", i, c.Mode)
 		}
 	}
+	for i, d := range p.Drains {
+		if !(d.From >= 0 && d.To > d.From) { // also rejects NaN bounds
+			return fmt.Errorf("chaos: drain %d: bad window [%v,%v)", i, d.From, d.To)
+		}
+		if !(d.Fraction > 0) || math.IsInf(d.Fraction, 0) { // also rejects NaN
+			return fmt.Errorf("chaos: drain %d: fraction %v not positive and finite", i, d.Fraction)
+		}
+		if d.Robot < -1 {
+			return fmt.Errorf("chaos: drain %d: bad robot index %d (want -1 for all)", i, d.Robot)
+		}
+		if robots > 0 && d.Robot >= robots {
+			return fmt.Errorf("chaos: drain %d: robot index %d out of range (team of %d)", i, d.Robot, robots)
+		}
+	}
 	if !(p.ManagerCrashAt >= 0) { // also rejects NaN
 		return fmt.Errorf("chaos: bad manager crash time %v", p.ManagerCrashAt)
 	}
@@ -162,6 +191,13 @@ func (p *FaultPlan) String() string {
 		}
 		parts = append(parts, s)
 	}
+	for _, d := range p.Drains {
+		s := fmt.Sprintf("drain@%s-%s=%s", ftoa(d.From), ftoa(d.To), ftoa(d.Fraction))
+		if d.Robot >= 0 {
+			s += "," + strconv.Itoa(d.Robot)
+		}
+		parts = append(parts, s)
+	}
 	if p.ManagerCrashAt > 0 {
 		parts = append(parts, fmt.Sprintf("mgr@%s", ftoa(p.ManagerCrashAt)))
 	}
@@ -180,6 +216,10 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 //	                         probability P during [T1,T2); mode is one of
 //	                         bitflip|truncate|garbage|duplicate|replay|mix
 //	                         (default mix)
+//	drain@T1-T2=F[,IDX]      bleed fraction F of battery capacity from
+//	                         robot IDX (all robots when omitted), spread
+//	                         uniformly over [T1,T2); inert without
+//	                         Config.Battery
 //	mgr@T                    central manager crashes at time T
 //
 // Example: "robot@8000=0;burst@8000-12000=0.05;mgr@16000". An empty spec
@@ -209,6 +249,8 @@ func Parse(spec string) (*FaultPlan, error) {
 			err = parseBlackout(p, rest)
 		case "corrupt":
 			err = parseCorrupt(p, rest)
+		case "drain":
+			err = parseDrain(p, rest)
 		case "mgr":
 			p.ManagerCrashAt, err = atof(rest)
 		default:
@@ -312,6 +354,34 @@ func parseCorrupt(p *FaultPlan, rest string) error {
 	return nil
 }
 
+func parseDrain(p *FaultPlan, rest string) error {
+	window, spec, ok := strings.Cut(rest, "=")
+	if !ok {
+		return fmt.Errorf("want T1-T2=F[,IDX]")
+	}
+	from, to, err := parseWindow(window)
+	if err != nil {
+		return err
+	}
+	frac, idx, hasIdx := strings.Cut(spec, ",")
+	f, err := atof(frac)
+	if err != nil {
+		return err
+	}
+	robot := -1 // all robots unless an index follows
+	if hasIdx {
+		robot, err = strconv.Atoi(strings.TrimSpace(idx))
+		if err != nil {
+			return fmt.Errorf("robot index %q: %w", idx, err)
+		}
+		if robot < 0 {
+			return fmt.Errorf("robot index %d: want >= 0 (omit the index to target all robots)", robot)
+		}
+	}
+	p.Drains = append(p.Drains, Drain{From: from, To: to, Fraction: f, Robot: robot})
+	return nil
+}
+
 func parseWindow(s string) (from, to float64, err error) {
 	// Split at the first '-' that can belong to neither number: not a
 	// leading sign, and not the exponent sign of scientific notation (the
@@ -362,6 +432,9 @@ func (p *FaultPlan) FirstFaultAt() (float64, bool) {
 	}
 	for _, c := range p.Corruptions {
 		times = append(times, c.From)
+	}
+	for _, d := range p.Drains {
+		times = append(times, d.From)
 	}
 	if p.ManagerCrashAt > 0 {
 		times = append(times, p.ManagerCrashAt)

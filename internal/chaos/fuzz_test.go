@@ -26,6 +26,12 @@ func FuzzChaosParse(f *testing.F) {
 		"corrupt@500-2500=0.2,replay",
 		"corrupt@1-2=0.5,gremlins",
 		"burst@100-200=0.1;corrupt@100-200=0.1,mix",
+		"drain@1000-2000=0.5",
+		"drain@1000-2000=0.5,2",
+		"drain@1e-05-3000=1.25",
+		"drain@1-2=NaN",
+		"drain@1-2=0.5,-1",
+		"drain@100-500=0.0625;robot@500=0;mgr@900",
 	} {
 		f.Add(seed)
 	}

@@ -59,6 +59,20 @@ func TestStringParseRoundTripTable(t *testing.T) {
 			LossBursts:  []LossBurst{{From: 100, To: 500, P: 0.2}},
 			Corruptions: []Corruption{{From: 100, To: 500, P: 0.2, Mode: "truncate"}},
 		}},
+		{"drain whole fleet", &FaultPlan{
+			Drains: []Drain{{From: 1000, To: 2000, Fraction: 0.5, Robot: -1}},
+		}},
+		{"drain single robot", &FaultPlan{
+			Drains: []Drain{{From: 1e-05, To: 3000, Fraction: 1.25, Robot: 2}},
+		}},
+		{"drain alongside other faults", &FaultPlan{
+			RobotFailures: []RobotFailure{{At: 500, Robot: 0}},
+			Drains: []Drain{
+				{From: 100, To: 500, Fraction: 0.0625, Robot: -1},
+				{From: 300, To: 700, Fraction: 2, Robot: 4},
+			},
+			ManagerCrashAt: 900,
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,6 +108,15 @@ func TestParseRejectsDegenerateWindows(t *testing.T) {
 		"corrupt@1-2=-0.1",         // negative probability
 		"corrupt@1-2=0.5,gremlins", // unknown mutation mode
 		"corrupt@1-2=0.5,",         // empty mode after the comma
+		"drain@100-100=0.5",        // T1 == T2: empty drain window
+		"drain@1-2=0",              // zero fraction drains nothing
+		"drain@1-2=-0.5",           // negative fraction
+		"drain@1-2=NaN",            // NaN fraction
+		"drain@1-2=+Inf",           // infinite fraction
+		"drain@1-2=0.5,",           // empty robot index after the comma
+		"drain@1-2=0.5,x",          // non-numeric robot index
+		"drain@1-2=0.5,-1",         // explicit negative index (omit for all)
+		"drain@1-2",                // missing =F part
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {
@@ -121,6 +144,10 @@ func TestValidateRejectsNaN(t *testing.T) {
 		{Corruptions: []Corruption{{From: 0, To: nan, P: 0.5}}},
 		{Corruptions: []Corruption{{From: 0, To: 10, P: nan}}},
 		{Corruptions: []Corruption{{From: 0, To: 10, P: 0.5, Mode: "gremlins"}}},
+		{Drains: []Drain{{From: nan, To: 10, Fraction: 0.5, Robot: -1}}},
+		{Drains: []Drain{{From: 0, To: nan, Fraction: 0.5, Robot: -1}}},
+		{Drains: []Drain{{From: 0, To: 10, Fraction: nan, Robot: -1}}},
+		{Drains: []Drain{{From: 0, To: 10, Fraction: 0.5, Robot: -2}}},
 	}
 	for i, p := range plans {
 		if err := p.Validate(0); err == nil {

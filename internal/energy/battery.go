@@ -1,0 +1,78 @@
+package energy
+
+// Battery is a finite energy budget with explicit ledger accounting.
+//
+// The fields are a double-entry ledger: every joule that leaves the pack
+// moves from RemainingJ to SpentJ, and every joule that enters it adds to
+// both RemainingJ and RechargedJ. The invariant checker's
+// robot/energy-conservation law cross-checks the ledger at the end of a
+// run:
+//
+//	SpentJ + RemainingJ == CapacityJ + RechargedJ   (within float ulps)
+//
+// RemainingJ and SpentJ are maintained as *independent* accumulators
+// rather than deriving one from the other, precisely so that a bug that
+// debits one side of the ledger but not the other is observable.
+type Battery struct {
+	CapacityJ  float64 // pack size; Charge never fills past this
+	RemainingJ float64 // energy currently available
+	SpentJ     float64 // lifetime energy drawn from the pack
+	RechargedJ float64 // lifetime energy put back by recharging
+}
+
+// NewBattery returns a full battery of the given capacity.
+func NewBattery(capacityJ float64) *Battery {
+	if capacityJ < 0 {
+		capacityJ = 0
+	}
+	return &Battery{CapacityJ: capacityJ, RemainingJ: capacityJ}
+}
+
+// Drain draws j joules from the pack, clamping at empty. It returns the
+// energy actually drawn.
+func (b *Battery) Drain(j float64) float64 {
+	if j <= 0 {
+		return 0
+	}
+	if j > b.RemainingJ {
+		j = b.RemainingJ
+	}
+	b.RemainingJ -= j
+	b.SpentJ += j
+	return j
+}
+
+// Charge adds j joules to the pack, clamping at capacity. It returns the
+// energy actually stored.
+func (b *Battery) Charge(j float64) float64 {
+	if j <= 0 {
+		return 0
+	}
+	if room := b.CapacityJ - b.RemainingJ; j > room {
+		j = room
+	}
+	if j <= 0 {
+		return 0
+	}
+	b.RemainingJ += j
+	b.RechargedJ += j
+	return j
+}
+
+// Empty reports whether the pack is exhausted.
+func (b *Battery) Empty() bool { return b.RemainingJ <= 0 }
+
+// Fraction returns the state of charge in [0, 1].
+func (b *Battery) Fraction() float64 {
+	if b.CapacityJ <= 0 {
+		return 0
+	}
+	f := b.RemainingJ / b.CapacityJ
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,128 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewBatteryStartsFull(t *testing.T) {
+	b := NewBattery(500)
+	if b.RemainingJ != 500 || b.CapacityJ != 500 || b.SpentJ != 0 || b.RechargedJ != 0 {
+		t.Fatalf("fresh battery: %+v", *b)
+	}
+	if b.Empty() {
+		t.Fatal("fresh battery reports empty")
+	}
+	if got := b.Fraction(); got != 1 {
+		t.Fatalf("fresh Fraction = %v, want 1", got)
+	}
+}
+
+func TestNewBatteryNegativeCapacity(t *testing.T) {
+	b := NewBattery(-5)
+	if b.CapacityJ != 0 || b.RemainingJ != 0 {
+		t.Fatalf("negative capacity battery: %+v", *b)
+	}
+	if b.Fraction() != 0 {
+		t.Fatalf("zero-capacity Fraction = %v, want 0", b.Fraction())
+	}
+}
+
+func TestBatteryDrainClampsAtEmpty(t *testing.T) {
+	b := NewBattery(100)
+	if got := b.Drain(60); got != 60 {
+		t.Fatalf("Drain(60) = %v", got)
+	}
+	if got := b.Drain(60); got != 40 {
+		t.Fatalf("over-drain returned %v, want clamped 40", got)
+	}
+	if !b.Empty() || b.RemainingJ != 0 || b.SpentJ != 100 {
+		t.Fatalf("after over-drain: %+v", *b)
+	}
+	if got := b.Drain(1); got != 0 {
+		t.Fatalf("drain of empty pack returned %v", got)
+	}
+	if got := b.Drain(-3); got != 0 {
+		t.Fatal("negative drain must be a no-op")
+	}
+}
+
+func TestBatteryChargeClampsAtCapacity(t *testing.T) {
+	b := NewBattery(100)
+	b.Drain(70)
+	if got := b.Charge(50); got != 50 {
+		t.Fatalf("Charge(50) = %v", got)
+	}
+	if got := b.Charge(50); got != 20 {
+		t.Fatalf("over-charge returned %v, want clamped 20", got)
+	}
+	if b.RemainingJ != 100 || b.RechargedJ != 70 {
+		t.Fatalf("after top-up: %+v", *b)
+	}
+	if got := b.Charge(1); got != 0 {
+		t.Fatalf("charging a full pack returned %v", got)
+	}
+	if got := b.Charge(-1); got != 0 {
+		t.Fatal("negative charge must be a no-op")
+	}
+}
+
+// TestBatteryLedgerConservation drives a random drain/charge schedule and
+// checks the double-entry ledger identity the invariant layer relies on:
+// spent + remaining == capacity + recharged.
+func TestBatteryLedgerConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBattery(1e5)
+	for i := 0; i < 10000; i++ {
+		if rng.Intn(3) == 0 {
+			b.Charge(rng.Float64() * 500)
+		} else {
+			b.Drain(rng.Float64() * 300)
+		}
+	}
+	lhs := b.SpentJ + b.RemainingJ
+	rhs := b.CapacityJ + b.RechargedJ
+	if math.Abs(lhs-rhs) > 1e-6*rhs {
+		t.Fatalf("ledger drifted: spent+remaining=%v capacity+recharged=%v", lhs, rhs)
+	}
+	if b.RemainingJ < 0 || b.RemainingJ > b.CapacityJ {
+		t.Fatalf("remaining out of range: %v", b.RemainingJ)
+	}
+	if f := b.Fraction(); f < 0 || f > 1 {
+		t.Fatalf("Fraction out of range: %v", f)
+	}
+}
+
+// TestMotionPowerEdgeCases pins the degenerate-speed behavior the robot
+// layer's lazy accrual depends on: non-positive speed means the platform
+// is not translating, so the draw is the idle floor.
+func TestMotionPowerEdgeCases(t *testing.T) {
+	m := Pioneer3DX()
+	for _, v := range []float64{0, -1, -0.001} {
+		if got := m.MotionPowerW(v); got != m.IdlePowerW {
+			t.Fatalf("MotionPowerW(%v) = %v, want idle %v", v, got, m.IdlePowerW)
+		}
+	}
+	if got := m.MotionPowerW(1); got <= m.IdlePowerW {
+		t.Fatalf("MotionPowerW(1) = %v, want > idle", got)
+	}
+}
+
+// TestMotionEnergyEdgeCases: zero or negative distance and zero or
+// negative speed all cost nothing — a leg that does not happen must not
+// debit the battery.
+func TestMotionEnergyEdgeCases(t *testing.T) {
+	m := Pioneer3DX()
+	cases := []struct{ dist, v float64 }{
+		{0, 1}, {-10, 1}, {100, 0}, {100, -2}, {0, 0}, {-1, -1},
+	}
+	for _, c := range cases {
+		if got := m.MotionEnergyJ(c.dist, c.v); got != 0 {
+			t.Fatalf("MotionEnergyJ(%v, %v) = %v, want 0", c.dist, c.v, got)
+		}
+	}
+	if got := m.MotionEnergyJ(100, 1); got <= 0 {
+		t.Fatalf("MotionEnergyJ(100, 1) = %v, want > 0", got)
+	}
+}

@@ -60,6 +60,11 @@ const (
 	// LawReportAck: every report ack a reporter accepts names a sequence
 	// number that reporter actually transmitted (node reliability hook).
 	LawReportAck = "node/report-ack"
+	// LawEnergyConservation: a robot's battery ledger balances — spent +
+	// remaining ≡ initial capacity + recharged — the energy spent covers
+	// at least the motion the robot logged, and a dead robot never moves
+	// again (battery-extension hooks).
+	LawEnergyConservation = "robot/energy-conservation"
 )
 
 // Config parameterizes the invariant layer of one run. The zero value
@@ -162,6 +167,12 @@ type Checker struct {
 	// Robot kinematics.
 	robotSpeed float64
 
+	// Battery extension: dead robots (battery exhaustion or injected
+	// breakdown) must not move again, and the final ledgers are checked
+	// against the motion-energy floor in joules per meter of travel.
+	deadRobots  map[radio.NodeID]bool
+	motionJPerM float64
+
 	// Radio accounting. dupUnicast credits unicast deliveries the hostile
 	// channel injected (duplicated or replayed frames) on top of real
 	// transmissions.
@@ -186,16 +197,27 @@ type Checker struct {
 // clock (sim.Scheduler.Now).
 func NewChecker(cfg Config, now func() sim.Time) *Checker {
 	return &Checker{
-		cfg:      cfg.WithDefaults(),
-		now:      now,
-		sites:    make(map[geom.Point]*siteState),
-		sentSeqs: make(map[radio.NodeID]map[uint64]bool),
+		cfg:        cfg.WithDefaults(),
+		now:        now,
+		sites:      make(map[geom.Point]*siteState),
+		sentSeqs:   make(map[radio.NodeID]map[uint64]bool),
+		deadRobots: make(map[radio.NodeID]bool),
 	}
 }
 
 // SetRobotSpeed declares the (uniform) robot travel speed the kinematics
 // law checks against.
 func (c *Checker) SetRobotSpeed(speed float64) { c.robotSpeed = speed }
+
+// SetMotionEnergy declares the fleet's motion cost in joules per meter of
+// travel; the energy-conservation law uses it as a lower bound on what a
+// robot's odometer implies its battery must have spent.
+func (c *Checker) SetMotionEnergy(joulesPerMeter float64) { c.motionJPerM = joulesPerMeter }
+
+// RobotDied records that a robot is permanently down (battery exhaustion
+// or injected breakdown); any later position fix with displacement is a
+// violation — the dead do not walk.
+func (c *Checker) RobotDied(id radio.NodeID) { c.deadRobots[id] = true }
 
 // Violate records one violation, subject to the retention limit.
 func (c *Checker) Violate(law, entity, detail string) {
@@ -239,6 +261,11 @@ const kinematicsEps = 1e-6
 func (c *Checker) RobotMoved(id radio.NodeID, from geom.Point, fromAt sim.Time, to geom.Point) {
 	dist := from.Dist(to)
 	if dist == 0 {
+		return
+	}
+	if c.deadRobots[id] {
+		c.Violate(LawEnergyConservation, id.String(), fmt.Sprintf(
+			"dead robot moved %.6f m from %v to %v", dist, from, to))
 		return
 	}
 	elapsed := float64(c.now().Sub(fromAt))
@@ -382,6 +409,32 @@ func (c *Checker) ReportAcked(reporter radio.NodeID, seq uint64) {
 	if !c.sentSeqs[reporter][seq] {
 		c.Violate(LawReportAck, reporter.String(), fmt.Sprintf(
 			"ack accepted for seq %d, which was never sent", seq))
+	}
+}
+
+// RobotEnergy checks one robot's final battery ledger against the
+// energy-conservation law. Two independent cross-checks: the double-entry
+// ledger must balance (spent + remaining ≡ initial + recharged), and the
+// spent side must cover at least the motion energy implied by the robot's
+// separately-maintained odometer (every traveled meter was debited at the
+// declared joules-per-meter motion cost; idle draw only adds on top).
+// Call it once per robot at end of run, before reading Violations.
+func (c *Checker) RobotEnergy(id radio.NodeID, initialJ, spentJ, remainingJ, rechargedJ, traveledM float64) {
+	entity := id.String()
+	budget := initialJ + rechargedJ
+	eps := 1e-8*budget + 1e-6 // accumulated ulps over thousands of lazy accruals
+	if diff := spentJ + remainingJ - budget; diff > eps || diff < -eps {
+		c.Violate(LawEnergyConservation, entity, fmt.Sprintf(
+			"ledger imbalance: spent %.6f J + remaining %.6f J != initial %.6f J + recharged %.6f J (off by %.6f J)",
+			spentJ, remainingJ, initialJ, rechargedJ, diff))
+	}
+	if c.motionJPerM > 0 {
+		floor := traveledM * c.motionJPerM
+		if spentJ+1e-8*floor+1e-6 < floor {
+			c.Violate(LawEnergyConservation, entity, fmt.Sprintf(
+				"spent %.6f J but the odometer's %.3f m of travel alone costs %.6f J: a leg went undebited",
+				spentJ, traveledM, floor))
+		}
 	}
 }
 

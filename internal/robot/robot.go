@@ -4,6 +4,7 @@
 package robot
 
 import (
+	"roborepair/internal/energy"
 	"roborepair/internal/geom"
 	"roborepair/internal/metrics"
 	"roborepair/internal/netstack"
@@ -56,6 +57,9 @@ type Config struct {
 	// Reliability configures heartbeats, acknowledgements, and manager
 	// failover (extension; the zero value disables all of it).
 	Reliability Reliability
+	// Battery configures the finite-energy extension (the zero value
+	// disables it: no pack is allocated, robots never tire).
+	Battery BatteryParams
 	// StrictSeq rejects peer location updates whose Seq is below the last
 	// accepted one for that peer (hostile-channel defense: stale replays
 	// must not roll peer positions back). Off by default — on a benign
@@ -109,6 +113,15 @@ type Hooks struct {
 	// new position, so an observer can bound displacement by speed ×
 	// elapsed (the kinematics conservation law).
 	OnMove func(r *Robot, from geom.Point, fromAt sim.Time, to geom.Point)
+	// OnBatteryDeath fires when the robot's battery hits zero and it dies
+	// in place (after OnFail has stranded its tasks).
+	OnBatteryDeath func(r *Robot)
+	// OnRecharge fires when the robot finishes recharging at the depot.
+	OnRecharge func(r *Robot)
+	// OnHandoff fires when a low-battery robot heads for the charger with
+	// the tasks it is handing back, so the runner can re-queue them on the
+	// rest of the fleet.
+	OnHandoff func(r *Robot, handed []Task)
 }
 
 // Robot is a mobile maintainer (and, in the distributed algorithms, a
@@ -151,6 +164,21 @@ type Robot struct {
 	relocSeq    uint64     // highest relocation command sequence accepted
 	relocations int        // completed relocation legs
 
+	// Energy-extension state (inert when cfg.Battery is zero): a finite
+	// pack with lazy accrual, recharge legs, and death at empty.
+	bat          *energy.Battery
+	batAt        sim.Time   // last accrual instant
+	extraDrainW  float64    // adversarial parasitic load (chaos drain windows)
+	charging     bool       // parked at the depot, charging
+	rechargeLeg  bool       // current leg heads to the depot charger
+	rechargeFrom geom.Point // where the recharge leg started
+	chargeEv     sim.Event
+	deathEv      sim.Event
+	recharges    int
+	handoffs     int // tasks handed back when detouring to recharge
+	died         bool
+	diedAt       sim.Time
+
 	// Reliability-extension state (inert when cfg.Reliability is zero).
 	relTicker      *sim.Ticker
 	mgrID          radio.NodeID
@@ -190,6 +218,10 @@ func New(id radio.NodeID, pos geom.Point, cfg Config, mode UpdateMode, medium *r
 		r.seen = make(map[radio.NodeID]bool)
 		r.peers = make(map[radio.NodeID]peerState)
 		r.outstanding = make(map[radio.NodeID]*outDispatch)
+	}
+	if cfg.Battery.Enabled() {
+		r.bat = energy.NewBattery(cfg.Battery.CapacityJ)
+		r.batAt = r.sched.Now()
 	}
 	r.router = &netstack.Router{
 		ID:     id,
@@ -284,7 +316,11 @@ func (r *Robot) FailNow() {
 	r.sched.Cancel(r.arriveEv)
 	r.sched.Cancel(r.updateEv)
 	r.sched.Cancel(r.takeoverEv)
+	r.sched.Cancel(r.chargeEv)
+	r.sched.Cancel(r.deathEv)
 	r.relocating = false
+	r.charging = false
+	r.rechargeLeg = false
 	if r.relTicker != nil {
 		r.relTicker.Stop()
 	}
@@ -323,6 +359,7 @@ func (r *Robot) Start(initDelay sim.Duration) {
 		}
 		r.relTicker = t
 	}
+	r.rearmDeathClock()
 }
 
 // HandleFrame implements radio.Station.
@@ -430,7 +467,7 @@ func (r *Robot) deliver(p netstack.Packet) {
 // frames cannot undo a newer placement; under StrictSeq the drop is
 // counted in ReplayRejected.
 func (r *Robot) RelocateTo(dest geom.Point, seq uint64) {
-	if r.failed || r.current != nil {
+	if r.failed || r.current != nil || r.rechargeLeg || r.charging {
 		return
 	}
 	if seq <= r.relocSeq {
@@ -452,6 +489,7 @@ func (r *Robot) RelocateTo(dest geom.Point, seq uint64) {
 	r.moving = true
 	r.arriveEv = r.sched.After(sim.Duration(start.Dist(dest)/r.cfg.Speed), r.relocArrive)
 	r.scheduleUpdate()
+	r.rearmDeathClock()
 }
 
 // Relocations reports completed standby-relocation legs.
@@ -501,9 +539,10 @@ func (r *Robot) Enqueue(t Task) {
 }
 
 // enqueueTask queues or starts a task, bypassing deduplication (used by
-// the managing role, which marks the seen set itself).
+// the managing role, which marks the seen set itself). Tasks arriving
+// during a recharge detour queue for after the top-up.
 func (r *Robot) enqueueTask(t Task) {
-	if r.current != nil {
+	if r.current != nil || r.rechargeLeg || r.charging {
 		r.queue = append(r.queue, t)
 		return
 	}
@@ -511,6 +550,10 @@ func (r *Robot) enqueueTask(t Task) {
 }
 
 func (r *Robot) begin(t Task) {
+	if r.declinesForRecharge(t) {
+		r.goRecharge(&t)
+		return
+	}
 	r.interruptRelocation()
 	r.current = &t
 	start := r.Pos()
@@ -531,10 +574,17 @@ func (r *Robot) begin(t Task) {
 	r.moving = true
 	r.arriveEv = r.sched.After(sim.Duration(dist/r.cfg.Speed), r.arrive)
 	r.scheduleUpdate()
+	r.rearmDeathClock()
 }
 
-// settle fixes the robot's anchor at p with motion stopped.
+// settle fixes the robot's anchor at p with motion stopped. It is the
+// universal motion-stop chokepoint, so the battery's lazy accrual hooks
+// here: the interval since the last accrual is integrated at the power
+// mode that was in force during it (the moving flag is still the leg's).
 func (r *Robot) settle(p geom.Point) {
+	if r.bat != nil {
+		r.accrueEnergy()
+	}
 	if r.hooks.OnMove != nil {
 		r.hooks.OnMove(r, r.anchor, r.anchorTime, p)
 	}
@@ -546,6 +596,7 @@ func (r *Robot) settle(p geom.Point) {
 	if !old.Eq(p) {
 		r.medium.Moved(r.id, old)
 	}
+	r.rearmDeathClock()
 }
 
 // scheduleUpdate arms the next 20 m location-update event for the current
@@ -676,9 +727,16 @@ func (r *Robot) finish(t Task, dist float64) {
 		// maintainer robot may need to update the manager or some sensors
 		// with its new location") — published after completion so the
 		// Load field reflects the drained queue.
+		r.rearmDeathClock() // idle now: the clock may switch to threshold mode
 		r.publish()
 		return
 	}
+	r.begin(r.nextQueued())
+	r.publish() // arrival update, with the next task already counted in Load
+}
+
+// nextQueued pops the next task under the configured queue policy.
+func (r *Robot) nextQueued() Task {
 	idx := 0
 	if r.cfg.Queue == NearestFirst {
 		here := r.Pos()
@@ -690,6 +748,5 @@ func (r *Robot) finish(t Task, dist float64) {
 	}
 	next := r.queue[idx]
 	r.queue = append(r.queue[:idx], r.queue[idx+1:]...)
-	r.begin(next)
-	r.publish() // arrival update, with the next task already counted in Load
+	return next
 }

@@ -100,13 +100,34 @@ func (r *Robot) AppendState(b []byte) []byte {
 		b = checkpoint.AppendBool(b, o.acked)
 	}
 
-	// Standby-relocation state (appended last: sections are byte-compared,
-	// never field-decoded, so extending the tail is format-safe).
+	// Standby-relocation state (appended after the original layout:
+	// sections are byte-compared, never field-decoded, so extending the
+	// tail is format-safe).
 	b = checkpoint.AppendBool(b, r.relocating)
 	b = checkpoint.AppendF64(b, r.relocFrom.X)
 	b = checkpoint.AppendF64(b, r.relocFrom.Y)
 	b = checkpoint.AppendU64(b, r.relocSeq)
 	b = checkpoint.AppendI64(b, int64(r.relocations))
+
+	// Battery-extension state (tail-extended for the same reason). The
+	// pack ledger and the lazy-accrual bookkeeping both ride the snapshot
+	// so a restored continuation debits identically.
+	b = checkpoint.AppendBool(b, r.bat != nil)
+	if r.bat != nil {
+		b = checkpoint.AppendF64(b, r.bat.RemainingJ)
+		b = checkpoint.AppendF64(b, r.bat.SpentJ)
+		b = checkpoint.AppendF64(b, r.bat.RechargedJ)
+		b = checkpoint.AppendF64(b, float64(r.batAt))
+		b = checkpoint.AppendF64(b, r.extraDrainW)
+		b = checkpoint.AppendBool(b, r.charging)
+		b = checkpoint.AppendBool(b, r.rechargeLeg)
+		b = checkpoint.AppendF64(b, r.rechargeFrom.X)
+		b = checkpoint.AppendF64(b, r.rechargeFrom.Y)
+		b = checkpoint.AppendI64(b, int64(r.recharges))
+		b = checkpoint.AppendI64(b, int64(r.handoffs))
+		b = checkpoint.AppendBool(b, r.died)
+		b = checkpoint.AppendF64(b, float64(r.diedAt))
+	}
 	return b
 }
 

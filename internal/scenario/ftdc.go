@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"roborepair/internal/ftdc"
 	"roborepair/internal/metrics"
@@ -23,7 +24,7 @@ const (
 	FTDCColViolations = "violations"
 	// FTDCColChaosActive is a bitmask of fault windows containing the
 	// sample time: 1 loss burst, 2 blackout, 4 corruption, 8 manager
-	// crashed.
+	// crashed, 16 battery drain (battery layer on).
 	FTDCColChaosActive = "chaos_active"
 	// FTDCColFailuresInjected, FTDCColRepairs, FTDCColReportsSent,
 	// FTDCColReportsDelivered are the failure pipeline's cumulative
@@ -44,11 +45,14 @@ const (
 	chaosBitBlackout
 	chaosBitCorruption
 	chaosBitManagerCrashed
+	chaosBitDrain
 )
 
 // ftdcColumns is the recorder schema: the time column, the telemetry
 // gauges (same readings the sampler takes, minus the derived rate), then
-// cumulative counters and the invariant/chaos markers.
+// cumulative counters and the invariant/chaos markers. When the battery
+// layer is on, startRecorder appends GaugeFleetAlive and GaugeBatteryMinJ
+// after these, so battery-off captures keep the legacy layout.
 var ftdcColumns = []string{
 	FTDCColTime,
 	GaugePendingFailures,
@@ -109,6 +113,37 @@ func (w *World) gaugeEventQueueDepth() float64 {
 	return float64(w.Sched.Pending())
 }
 
+// gaugeFleetAlive is the number of operational robots.
+func (w *World) gaugeFleetAlive() float64 {
+	alive := 0
+	for _, r := range w.Robots {
+		if r.Alive() {
+			alive++
+		}
+	}
+	return float64(alive)
+}
+
+// gaugeBatteryMinJ is the lowest pack level across live robots, floored to
+// whole joules so the recorder's integer delta mode applies (dead and
+// chaos-failed robots are excluded: their packs are no longer news). The
+// full fleet dead reads 0.
+func (w *World) gaugeBatteryMinJ() float64 {
+	min := math.Inf(1)
+	for _, r := range w.Robots {
+		if !r.Alive() {
+			continue
+		}
+		if j := r.BatteryRemainingJ(); j < min {
+			min = j
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return math.Floor(min)
+}
+
 // chaosActiveBits reports which fault windows contain time t.
 func (w *World) chaosActiveBits(t float64) float64 {
 	bits := 0
@@ -131,6 +166,16 @@ func (w *World) chaosActiveBits(t float64) float64 {
 				break
 			}
 		}
+		if w.Cfg.Battery != nil {
+			// Drain windows are inert without the battery layer, so they only
+			// flag when they actually bite.
+			for _, d := range plan.Drains {
+				if t >= d.From && t < d.To {
+					bits |= chaosBitDrain
+					break
+				}
+			}
+		}
 	}
 	if w.managerCrashAt >= 0 {
 		bits |= chaosBitManagerCrashed
@@ -144,8 +189,14 @@ func (w *World) chaosActiveBits(t float64) float64 {
 // and the run is bit-identical to an unrecorded one.
 func (w *World) startRecorder() error {
 	cfg := w.Cfg.Recorder.WithDefaults()
+	cols := ftdcColumns
+	battery := w.Cfg.Battery != nil
+	if battery {
+		cols = append(append(make([]string, 0, len(ftdcColumns)+2), ftdcColumns...),
+			GaugeFleetAlive, GaugeBatteryMinJ)
+	}
 	rec, err := ftdc.NewRecorder(ftdc.Schema{
-		Cols:    ftdcColumns,
+		Cols:    cols,
 		PeriodS: cfg.SamplePeriodS,
 		Seed:    w.Cfg.Seed,
 	}, cfg)
@@ -153,7 +204,7 @@ func (w *World) startRecorder() error {
 		return fmt.Errorf("scenario: recorder: %w", err)
 	}
 	w.Recorder = rec
-	row := make([]float64, len(ftdcColumns))
+	row := make([]float64, len(cols))
 	sample := func() {
 		t := float64(w.Sched.Now())
 		violations := 0
@@ -174,6 +225,10 @@ func (w *World) startRecorder() error {
 		row[11] = float64(w.Registry.Tx(metrics.CatFailureReport))
 		row[12] = float64(violations)
 		row[13] = w.chaosActiveBits(t)
+		if battery {
+			row[14] = w.gaugeFleetAlive()
+			row[15] = w.gaugeBatteryMinJ()
+		}
 		rec.Append(row)
 	}
 	if _, err := w.Sched.NewTicker(0, sim.Duration(cfg.SamplePeriodS), sample); err != nil {

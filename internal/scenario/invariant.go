@@ -12,6 +12,12 @@ import (
 func (w *World) startInvariants() {
 	w.inv = invariant.NewChecker(w.Cfg.Invariants, w.Sched.Now)
 	w.inv.SetRobotSpeed(w.Cfg.RobotSpeed)
+	if bc := w.Cfg.Battery; bc != nil {
+		// Joules per meter at cruise speed: the motion-floor cross-check of
+		// the energy-conservation law (spent must cover every traveled meter).
+		b := bc.withDefaults()
+		w.inv.SetMotionEnergy(b.model().MotionPowerW(w.Cfg.RobotSpeed) / w.Cfg.RobotSpeed)
+	}
 	w.Sched.SetAudit(w.inv.KernelAudit())
 	w.Medium.SetAuditor(w.inv)
 }
@@ -21,6 +27,13 @@ func (w *World) startInvariants() {
 func (w *World) finalizeInvariants() {
 	if w.inv == nil {
 		return
+	}
+	if w.Cfg.Battery != nil {
+		for _, r := range w.Robots {
+			r.SettleEnergy()
+			b := r.Battery()
+			w.inv.RobotEnergy(r.ID(), b.CapacityJ, b.SpentJ, b.RemainingJ, b.RechargedJ, r.Traveled())
+		}
 	}
 	w.inv.Finalize(invariant.Totals{
 		FailuresInjected:   w.failuresInjected,

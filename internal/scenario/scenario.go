@@ -11,6 +11,7 @@ import (
 	"roborepair/internal/algorithm"
 	"roborepair/internal/chaos"
 	"roborepair/internal/core"
+	"roborepair/internal/energy"
 	"roborepair/internal/failure"
 	"roborepair/internal/ftdc"
 	"roborepair/internal/geom"
@@ -155,6 +156,57 @@ type Config struct {
 	// FacilityLedger caps the facility family's failure-site ledger,
 	// FIFO-evicted (default 64).
 	FacilityLedger int `json:"facilityLedger,omitempty"`
+	// Battery, when non-nil, makes energy a live in-sim resource
+	// (robustness extension): each robot integrates its power draw against
+	// a finite budget, plans dispatches conservatively, detours to the
+	// field-center depot to recharge, hands queued tasks back when low,
+	// and dies in place at zero charge. Nil disables the layer entirely
+	// and reproduces the energy-unaware simulator's behavior and
+	// allocations bit-for-bit.
+	Battery *BatteryConfig `json:"battery,omitempty"`
+}
+
+// BatteryConfig tunes the energy layer. Power values are watts, energy
+// joules; zero power-model fields take the Pioneer 3-DX defaults.
+type BatteryConfig struct {
+	// CapacityJ is the per-robot battery budget in joules (required > 0).
+	CapacityJ float64 `json:"capacityJ"`
+	// RechargeW is the depot charging power. 0 means no recharging —
+	// starvation mode: robots spend their budget and die in place.
+	RechargeW float64 `json:"rechargeW,omitempty"`
+	// ReserveJ is the safety margin the admission rule keeps on top of
+	// the mission estimate (default 5% of CapacityJ when recharging is
+	// available; 0 otherwise).
+	ReserveJ float64 `json:"reserveJ,omitempty"`
+	// IdlePowerW, MotionBaseW, and MotionPerSpeedW override the platform
+	// power model (see internal/energy). All three zero selects the
+	// Pioneer 3-DX numbers.
+	IdlePowerW      float64 `json:"idlePowerW,omitempty"`
+	MotionBaseW     float64 `json:"motionBaseW,omitempty"`
+	MotionPerSpeedW float64 `json:"motionPerSpeedW,omitempty"`
+}
+
+// withDefaults fills unset knobs with the documented defaults.
+func (bc BatteryConfig) withDefaults() BatteryConfig {
+	if bc.ReserveJ == 0 && bc.RechargeW > 0 {
+		bc.ReserveJ = 0.05 * bc.CapacityJ
+	}
+	if bc.IdlePowerW == 0 && bc.MotionBaseW == 0 && bc.MotionPerSpeedW == 0 {
+		m := energy.Pioneer3DX()
+		bc.IdlePowerW = m.IdlePowerW
+		bc.MotionBaseW = m.MotionBaseW
+		bc.MotionPerSpeedW = m.MotionPerSpeedW
+	}
+	return bc
+}
+
+// model returns the platform power model the config describes.
+func (bc BatteryConfig) model() energy.Model {
+	return energy.Model{
+		IdlePowerW:      bc.IdlePowerW,
+		MotionBaseW:     bc.MotionBaseW,
+		MotionPerSpeedW: bc.MotionPerSpeedW,
+	}
 }
 
 // ReliabilityConfig tunes the repair-reliability protocol. All durations
@@ -272,6 +324,18 @@ func (c Config) Validate() error {
 	if _, err := sim.ParseKernel(c.Kernel); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	if b := c.Battery; b != nil {
+		switch {
+		case !(b.CapacityJ > 0) || math.IsInf(b.CapacityJ, 0):
+			return fmt.Errorf("scenario: battery capacity %v not a positive finite joule count", b.CapacityJ)
+		case b.RechargeW < 0 || math.IsNaN(b.RechargeW):
+			return fmt.Errorf("scenario: recharge power %v negative", b.RechargeW)
+		case b.ReserveJ < 0 || math.IsNaN(b.ReserveJ):
+			return fmt.Errorf("scenario: battery reserve %v negative", b.ReserveJ)
+		case b.IdlePowerW < 0 || b.MotionBaseW < 0 || b.MotionPerSpeedW < 0:
+			return fmt.Errorf("scenario: battery power-model terms must be non-negative")
+		}
+	}
 	if err := c.Faults.Validate(c.Robots); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
@@ -360,6 +424,17 @@ type Results struct {
 	DroppedMalformed uint64 `json:"droppedMalformed,omitempty"`
 	ReplayRejected   uint64 `json:"replayRejected,omitempty"`
 
+	// Energy-layer outcomes (all zero/empty unless Config.Battery is set).
+	// RobotDeaths counts robots whose battery hit zero mid-field;
+	// Recharges counts completed depot charging sessions; TaskHandoffs
+	// counts tasks a low-battery robot handed back for reassignment;
+	// EnergySpentJ sums every robot's debited joules.
+	RobotDeaths  int          `json:"robotDeaths,omitempty"`
+	Recharges    int          `json:"recharges,omitempty"`
+	TaskHandoffs int          `json:"taskHandoffs,omitempty"`
+	EnergySpentJ float64      `json:"energySpentJ,omitempty"`
+	RobotEnergy  []RobotPower `json:"robotEnergy,omitempty"`
+
 	// Registry holds the full per-category accounting.
 	Registry *metrics.Registry `json:"-"`
 
@@ -382,6 +457,18 @@ type Results struct {
 	// detected, in detection order; empty on clean runs and always nil
 	// when Config.Invariants is disabled.
 	Violations []invariant.Violation `json:"violations,omitempty"`
+}
+
+// RobotPower is one robot's energy ledger at the horizon (battery layer).
+type RobotPower struct {
+	Robot      int     `json:"robot"`
+	SpentJ     float64 `json:"spentJ"`
+	RemainingJ float64 `json:"remainingJ"`
+	RechargedJ float64 `json:"rechargedJ,omitempty"`
+	Recharges  int     `json:"recharges,omitempty"`
+	Handoffs   int     `json:"handoffs,omitempty"`
+	Died       bool    `json:"died,omitempty"`
+	DiedAtS    float64 `json:"diedAtS,omitempty"`
 }
 
 // ReportDeliveryRatio returns delivered/sent failure reports (1 when no

@@ -40,6 +40,12 @@ const (
 	// GaugeEventsPerSimSec is the kernel event rate over the last sample
 	// period (events fired per sim second).
 	GaugeEventsPerSimSec = "events_per_simsec"
+	// GaugeFleetAlive is the number of operational robots (battery layer;
+	// registered only when Config.Battery is set).
+	GaugeFleetAlive = "fleet_alive"
+	// GaugeBatteryMinJ is the lowest pack level across live robots in whole
+	// joules (battery layer; registered only when Config.Battery is set).
+	GaugeBatteryMinJ = "battery_min_j"
 )
 
 // startTelemetry builds the collector, registers the standard histograms
@@ -81,6 +87,12 @@ func (w *World) startTelemetry() error {
 		lastFired = fired
 		return rate
 	})
+	if w.Cfg.Battery != nil {
+		// Appended after the stable columns so battery-off CSV layouts are
+		// untouched.
+		c.Gauge(GaugeFleetAlive, w.gaugeFleetAlive)
+		c.Gauge(GaugeBatteryMinJ, w.gaugeBatteryMinJ)
+	}
 
 	return c.Start(w.Sched)
 }

@@ -353,6 +353,9 @@ func New(cfg Config) (*World, error) {
 			})
 		},
 		OnFail: func(r *robot.Robot, stranded []robot.Task) {
+			if w.inv != nil {
+				w.inv.RobotDied(r.ID())
+			}
 			w.trace(trace.Event{
 				At: sched.Now(), Kind: trace.KindRobotFailure,
 				Node: r.ID(), Actor: r.ID(), Loc: r.Pos(),
@@ -395,6 +398,41 @@ func New(cfg Config) (*World, error) {
 			w.inv.RobotMoved(r.ID(), from, fromAt, to)
 		}
 	}
+	if cfg.Battery != nil {
+		robotHooks.OnBatteryDeath = func(r *robot.Robot) {
+			// OnFail has already stranded (and, for distributed algorithms,
+			// re-queued) the robot's tasks; this marker records the cause.
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindBatteryDeath,
+				Node: r.ID(), Actor: r.ID(), Loc: r.Pos(),
+			})
+		}
+		robotHooks.OnRecharge = func(r *robot.Robot) {
+			w.trace(trace.Event{
+				At: sched.Now(), Kind: trace.KindRecharge,
+				Node: r.ID(), Actor: r.ID(), Loc: r.Pos(),
+			})
+		}
+		robotHooks.OnHandoff = func(donor *robot.Robot, handed []robot.Task) {
+			now := sched.Now()
+			for _, t := range handed {
+				best := w.nearestAlive(t.Loc, donor.ID())
+				if best == nil {
+					// No other live robot: bounce the task back to the donor,
+					// which queues it for after its recharge.
+					best = donor
+				}
+				w.trace(trace.Event{
+					At: now, Kind: trace.KindTaskHandoff,
+					Node: t.Failed, Actor: donor.ID(), Loc: t.Loc,
+				})
+				if w.requeuedAt != nil {
+					w.requeuedAt[t.Failed] = now
+				}
+				best.Enqueue(robot.Task{Failed: t.Failed, Loc: t.Loc, EnqueuedAt: now})
+			}
+		}
+	}
 	rcfg := robot.Config{
 		Speed:           cfg.RobotSpeed,
 		Range:           cfg.RobotRange,
@@ -409,6 +447,16 @@ func New(cfg Config) (*World, error) {
 		rcfg.Depot = bounds.Center()
 	}
 	rcfg.StrictSeq = hostile
+	if cfg.Battery != nil {
+		bc := cfg.Battery.withDefaults()
+		rcfg.Battery = robot.BatteryParams{
+			CapacityJ: bc.CapacityJ,
+			RechargeW: bc.RechargeW,
+			ReserveJ:  bc.ReserveJ,
+			Model:     bc.model(),
+			Depot:     bounds.Center(),
+		}
+	}
 	if rel.Enabled {
 		rcfg.Reliability = robot.Reliability{
 			HeartbeatPeriod:    sim.Duration(rel.HeartbeatS),
@@ -514,6 +562,29 @@ func (w *World) scheduleFaults() {
 			})
 		}
 	}
+	// Drain windows act on robot batteries, so they are inert — scheduling
+	// nothing at all — unless the battery layer is on: a battery-off run
+	// with a drain plan stays bit-identical to one without it.
+	if w.Cfg.Battery != nil {
+		for _, d := range plan.Drains {
+			d := d
+			watts := d.Fraction * w.Cfg.Battery.CapacityJ / (d.To - d.From)
+			apply := func(delta float64) {
+				if d.Robot >= 0 {
+					w.Robots[d.Robot].AddExtraDrainW(delta)
+					return
+				}
+				for _, r := range w.Robots {
+					r.AddExtraDrainW(delta)
+				}
+			}
+			sched.After(sim.Time(d.From).Sub(sched.Now()), func() {
+				w.trace(trace.Event{At: sched.Now(), Kind: trace.KindFault})
+				apply(watts)
+			})
+			sched.After(sim.Time(d.To).Sub(sched.Now()), func() { apply(-watts) })
+		}
+	}
 }
 
 // requeueStranded hands a dead robot's pending tasks to the surviving
@@ -522,16 +593,7 @@ func (w *World) scheduleFaults() {
 func (w *World) requeueStranded(stranded []robot.Task) {
 	now := w.Sched.Now()
 	for _, t := range stranded {
-		var best *robot.Robot
-		bestD := math.Inf(1)
-		for _, r := range w.Robots {
-			if !r.Alive() {
-				continue
-			}
-			if d := r.Pos().Dist2(t.Loc); d < bestD {
-				best, bestD = r, d
-			}
-		}
+		best := w.nearestAlive(t.Loc, 0)
 		if best == nil {
 			continue // no surviving robot; the failure stays unrepaired
 		}
@@ -543,6 +605,22 @@ func (w *World) requeueStranded(stranded []robot.Task) {
 		})
 		best.Enqueue(robot.Task{Failed: t.Failed, Loc: t.Loc, EnqueuedAt: now})
 	}
+}
+
+// nearestAlive returns the live robot closest to loc, skipping exclude
+// (pass 0 — never a robot ID — to consider the whole fleet).
+func (w *World) nearestAlive(loc geom.Point, exclude radio.NodeID) *robot.Robot {
+	var best *robot.Robot
+	bestD := math.Inf(1)
+	for _, r := range w.Robots {
+		if !r.Alive() || r.ID() == exclude {
+			continue
+		}
+		if d := r.Pos().Dist2(loc); d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
 }
 
 // startCoverageSampling periodically records the covered field fraction.
@@ -746,6 +824,30 @@ func (w *World) results() Results {
 	for _, s := range w.Sensors {
 		// Map order varies; a sum of counters is commutative.
 		res.ReplayRejected += s.ReplayRejected()
+	}
+	if w.Cfg.Battery != nil {
+		res.RobotEnergy = make([]RobotPower, 0, len(w.Robots))
+		for _, r := range w.Robots {
+			r.SettleEnergy() // fold the lazily-accrued tail in (idempotent)
+			b := r.Battery()
+			rp := RobotPower{
+				Robot:      int(r.ID()),
+				SpentJ:     b.SpentJ,
+				RemainingJ: b.RemainingJ,
+				RechargedJ: b.RechargedJ,
+				Recharges:  r.Recharges(),
+				Handoffs:   r.Handoffs(),
+				Died:       r.BatteryDied(),
+				DiedAtS:    float64(r.DiedAt()),
+			}
+			res.EnergySpentJ += rp.SpentJ
+			res.Recharges += rp.Recharges
+			res.TaskHandoffs += rp.Handoffs
+			if rp.Died {
+				res.RobotDeaths++
+			}
+			res.RobotEnergy = append(res.RobotEnergy, rp)
+		}
 	}
 	if w.inv != nil {
 		res.Violations = w.inv.Violations()

@@ -34,6 +34,11 @@ const (
 	KindManagerCrash // the central manager died
 	KindTakeover     // a robot assumed the manager role (Node = new manager)
 	KindFault        // an injected environmental fault window opened (loss burst, blackout)
+	// Energy-extension kinds (battery layer): resource exhaustion and the
+	// graceful-degradation machinery reacting to it.
+	KindBatteryDeath // a robot's battery hit zero and it died in place (Node = robot)
+	KindRecharge     // a robot finished recharging at the depot (Node = robot)
+	KindTaskHandoff  // a low-battery robot handed a task back (Node = failed sensor, Actor = donor robot)
 )
 
 // String names the kind.
@@ -67,6 +72,12 @@ func (k Kind) String() string {
 		return "takeover"
 	case KindFault:
 		return "fault"
+	case KindBatteryDeath:
+		return "battery-death"
+	case KindRecharge:
+		return "recharge"
+	case KindTaskHandoff:
+		return "task-handoff"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -60,6 +60,11 @@ type (
 	// ReliabilityConfig enables and tunes the repair-reliability
 	// protocol via Config.Reliability.
 	ReliabilityConfig = scenario.ReliabilityConfig
+	// BatteryConfig makes energy a live in-sim resource via Config.Battery:
+	// finite per-robot budgets, conservative dispatch admission, depot
+	// recharge detours with task handoff, and death-in-place at zero
+	// charge. Nil disables the layer with zero overhead.
+	BatteryConfig = scenario.BatteryConfig
 	// TelemetryConfig enables and tunes the observability layer —
 	// histograms, time-series sampling, exporters — via Config.Telemetry.
 	// The zero value disables it with zero overhead.
@@ -150,6 +155,10 @@ func WriteSnapshot(path string, s *Snapshot) error { return checkpoint.WriteFile
 //	                         probability P during [T1,T2); mode is one of
 //	                         bitflip, truncate, garbage, duplicate, replay,
 //	                         or mix (the default)
+//	drain@T1-T2=F[,IDX]      parasitic battery drain worth fraction F of
+//	                         one pack over [T1,T2), on robot IDX (omitted:
+//	                         the whole fleet); inert unless Config.Battery
+//	                         is set
 //
 // An empty spec yields a nil plan (no faults).
 func ParseFaultPlan(spec string) (*FaultPlan, error) { return chaos.Parse(spec) }
